@@ -1,0 +1,124 @@
+// Command hyscale-sim runs a single ad-hoc autoscaling simulation and prints
+// per-service and aggregate request statistics — a quick way to explore how
+// the algorithms behave outside the paper's fixed experiment grid.
+//
+//	hyscale-sim -algo hybridmem -kind mixed -services 10 -duration 20m
+//	hyscale-sim -algo kubernetes -kind cpu -rps 20 -load burst
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hyscale"
+	"hyscale/internal/loadgen"
+	"hyscale/internal/scenario"
+	"hyscale/internal/workload"
+)
+
+func main() {
+	var (
+		algo     = flag.String("algo", "hybridmem", "autoscaler: kubernetes|network|hybrid|hybridmem|none")
+		kind     = flag.String("kind", "cpu", "service kind: cpu|mem|net|mixed")
+		services = flag.Int("services", 5, "number of microservices")
+		nodes    = flag.Int("nodes", 19, "worker nodes")
+		rps      = flag.Float64("rps", 12, "base request rate per service")
+		load     = flag.String("load", "wave", "load pattern: constant|wave|burst")
+		duration = flag.Duration("duration", 15*time.Minute, "simulated duration")
+		seed     = flag.Int64("seed", 1, "random seed")
+		config   = flag.String("config", "", "run a JSON scenario file instead of the flag-built workload (see scenarios/)")
+	)
+	flag.Parse()
+
+	if *config != "" {
+		runScenario(*config)
+		return
+	}
+
+	sim, err := hyscale.NewSimulation(hyscale.SimConfig{
+		Seed:      *seed,
+		Nodes:     *nodes,
+		Algorithm: hyscale.AlgorithmName(*algo),
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	names := make([]string, 0, *services)
+	for i := 0; i < *services; i++ {
+		name := fmt.Sprintf("svc-%02d", i)
+		var spec workload.ServiceSpec
+		switch *kind {
+		case "cpu":
+			spec = hyscale.CPUBoundService(name, 0.12)
+		case "mem":
+			spec = hyscale.MemoryBoundService(name, 40)
+		case "net":
+			spec = hyscale.NetworkBoundService(name, 6, 60)
+		case "mixed":
+			spec = hyscale.MixedService(name, 0.12, 90)
+		default:
+			fatal(fmt.Errorf("unknown kind %q", *kind))
+		}
+		var pattern loadgen.Pattern
+		switch *load {
+		case "constant":
+			pattern = hyscale.ConstantLoad(*rps)
+		case "burst":
+			pattern = hyscale.BurstLoad(*rps*0.5, *rps*2.75, 10*time.Minute, 2*time.Minute)
+		case "wave":
+			pattern = hyscale.WaveLoad(*rps, 0.3, 8*time.Minute)
+		default:
+			fatal(fmt.Errorf("unknown load %q", *load))
+		}
+		if err := sim.AddService(spec, 0.5, pattern); err != nil {
+			fatal(err)
+		}
+		names = append(names, name)
+	}
+
+	if err := sim.Run(*duration); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("algorithm=%s kind=%s services=%d nodes=%d duration=%v\n\n", *algo, *kind, *services, *nodes, *duration)
+	for _, name := range names {
+		s := sim.ServiceReport(name)
+		fmt.Printf("%-8s %s  replicas=%d\n", name, s, sim.Replicas(name))
+	}
+	fmt.Printf("\nTOTAL    %s\n", sim.Report())
+	a := sim.Actions()
+	fmt.Printf("actions: scale-outs=%d scale-ins=%d vertical=%d placement-failures=%d\n",
+		a.ScaleOuts, a.ScaleIns, a.Vertical, a.PlacementFailures)
+}
+
+// runScenario executes a declarative JSON scenario file.
+func runScenario(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	sc, err := scenario.Parse(f)
+	if err != nil {
+		fatal(err)
+	}
+	w, err := sc.Run()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("scenario %s: algorithm=%s nodes=%d duration=%v\n\n", path, sc.Algorithm, len(w.Cluster().Nodes()), time.Duration(sc.Duration))
+	for _, svc := range sc.Services {
+		s := w.Recorder().SummarizeService(svc.Name)
+		fmt.Printf("%-10s %s  replicas=%d\n", svc.Name, s, len(w.Monitor().Replicas(svc.Name)))
+	}
+	fmt.Printf("\nTOTAL      %s\n", w.Summary())
+	fmt.Printf("cost: %s\n", w.CostReport())
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "hyscale-sim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// Command tracegen emits a synthetic Bitbrains-Rnd-like workload trace
+// (see internal/trace) either as per-VM GWA-T-12-style CSV files or as the
+// across-VM average series (the data behind Figure 9).
+//
+//	tracegen -vms 500 -duration 1h -out traces/      # per-VM CSVs
+//	tracegen -mean                                   # averaged series to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"hyscale/internal/trace"
+)
+
+func main() {
+	var (
+		vms      = flag.Int("vms", 500, "number of VM series")
+		duration = flag.Duration("duration", time.Hour, "trace span")
+		interval = flag.Duration("interval", 30*time.Second, "sampling interval")
+		seed     = flag.Int64("seed", 1, "random seed")
+		mean     = flag.Bool("mean", false, "print the across-VM average instead of writing files")
+		out      = flag.String("out", "", "directory for per-VM CSV files (required unless -mean)")
+	)
+	flag.Parse()
+
+	cfg := trace.DefaultRndConfig(*seed)
+	cfg.VMs = *vms
+	cfg.Duration = *duration
+	cfg.Interval = *interval
+	tr := trace.GenerateRnd(cfg)
+
+	if *mean {
+		m := tr.Mean()
+		fmt.Println("time_s,avg_cpu_pct,avg_mem_pct")
+		for i := 0; i < m.Len(); i++ {
+			t := time.Duration(i) * m.Interval
+			fmt.Printf("%.0f,%.2f,%.2f\n", t.Seconds(), m.CPUPercent[i], m.MemPercent[i])
+		}
+		return
+	}
+
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "tracegen: -out directory required (or use -mean)")
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	for i, s := range tr.Series {
+		path := filepath.Join(*out, fmt.Sprintf("%d.csv", i+1))
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(f, "Timestamp [ms];CPU cores;CPU capacity provisioned [MHZ];CPU usage [MHZ];CPU usage [%];Memory capacity provisioned [KB];Memory usage [KB];Disk read throughput [KB/s];Disk write throughput [KB/s];Network received throughput [KB/s];Network transmitted throughput [KB/s]")
+		const provMHz, provKB = 11704.0, 8388608.0
+		for j := 0; j < s.Len(); j++ {
+			ts := int64(time.Duration(j) * s.Interval / time.Millisecond)
+			cpuPct := s.CPUPercent[j]
+			memKB := s.MemPercent[j] / 100 * provKB
+			fmt.Fprintf(f, "%d;4;%.0f;%.2f;%.3f;%.0f;%.0f;0;0;0;0\n",
+				ts, provMHz, cpuPct/100*provMHz, cpuPct, provKB, memKB)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("wrote %d series to %s\n", len(tr.Series), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+	os.Exit(1)
+}

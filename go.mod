@@ -1,0 +1,3 @@
+module hyscale
+
+go 1.22

@@ -1,0 +1,246 @@
+// Package hyscale is the public API of this repository: a faithful,
+// simulation-backed reproduction of "HyScale: Hybrid and Network Scaling of
+// Dockerized Microservices in Cloud Data Centres" (Wong, Kwan, Jacobsen,
+// Muthusamy — ICDCS 2019).
+//
+// The package exposes three layers:
+//
+//   - Algorithms: the paper's autoscalers — the Kubernetes HPA baseline, the
+//     dedicated network scaler, and the two hybrid HyScale algorithms — as
+//     pure decision functions over cluster snapshots (NewKubernetes,
+//     NewNetworkHPA, NewHyScaleCPU, NewHyScaleCPUMem).
+//
+//   - Platform: the autoscaler platform of §V (Monitor, node managers, load
+//     balancers) wired to a deterministic cluster simulator that reproduces
+//     the physical effects of §III (CPU co-location contention, the memory
+//     swap cliff, NIC tx-queue contention). Build one with NewSimulation.
+//
+//   - Experiments: a harness that regenerates every table and figure of the
+//     paper's evaluation (see the Run* functions and cmd/hyscale-bench).
+//
+// A minimal session:
+//
+//	sim, _ := hyscale.NewSimulation(hyscale.SimConfig{
+//		Seed:      1,
+//		Nodes:     19,
+//		Algorithm: hyscale.AlgoHyScaleCPUMem,
+//	})
+//	svc := hyscale.CPUBoundService("api", 0.12)
+//	_ = sim.AddService(svc, 0.5, hyscale.WaveLoad(12, 0.3, 8*time.Minute))
+//	_ = sim.Run(30 * time.Minute)
+//	fmt.Println(sim.Report())
+package hyscale
+
+import (
+	"fmt"
+	"time"
+
+	"hyscale/internal/cluster"
+	"hyscale/internal/core"
+	"hyscale/internal/loadgen"
+	"hyscale/internal/metrics"
+	"hyscale/internal/monitor"
+	"hyscale/internal/platform"
+	"hyscale/internal/workload"
+)
+
+// AlgorithmName selects one of the paper's autoscaling algorithms.
+type AlgorithmName string
+
+// The four algorithms evaluated in the paper.
+const (
+	// AlgoKubernetes is the horizontal CPU autoscaler baseline (§IV-A1).
+	AlgoKubernetes AlgorithmName = "kubernetes"
+	// AlgoNetwork is the dedicated horizontal network scaler (§IV-A2).
+	AlgoNetwork AlgorithmName = "network"
+	// AlgoHyScaleCPU is the CPU-only hybrid algorithm (§IV-B1).
+	AlgoHyScaleCPU AlgorithmName = "hybrid"
+	// AlgoHyScaleCPUMem is the CPU+memory hybrid algorithm (§IV-B2).
+	AlgoHyScaleCPUMem AlgorithmName = "hybridmem"
+	// AlgoNone disables autoscaling (fixed allocations).
+	AlgoNone AlgorithmName = "none"
+)
+
+// NewAlgorithm constructs a scaling algorithm with the paper's default
+// parameters (5 s decisions, 3 s/50 s rescale intervals, 0.1 tolerance,
+// 0.1/0.25 CPU thresholds).
+func NewAlgorithm(name AlgorithmName) (core.Algorithm, error) {
+	cfg := core.DefaultConfig()
+	switch name {
+	case AlgoKubernetes:
+		return core.NewKubernetes(cfg), nil
+	case AlgoNetwork:
+		return core.NewNetworkHPA(cfg), nil
+	case AlgoHyScaleCPU:
+		return core.NewHyScaleCPU(cfg), nil
+	case AlgoHyScaleCPUMem:
+		return core.NewHyScaleCPUMem(cfg), nil
+	case AlgoNone:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("hyscale: unknown algorithm %q", name)
+	}
+}
+
+// SimConfig configures a Simulation. Zero-valued fields fall back to the
+// paper's experimental setup (19 worker nodes of 4 cores / 8 GiB / 1 Gbps,
+// 5 s monitor period, 100 ms physics tick).
+type SimConfig struct {
+	// Seed drives all randomness; equal seeds give identical runs.
+	Seed int64
+	// Nodes is the number of worker machines (default 19).
+	Nodes int
+	// Algorithm selects the autoscaler (default AlgoHyScaleCPUMem).
+	Algorithm AlgorithmName
+	// MonitorPeriod is the decision period (default 5 s).
+	MonitorPeriod time.Duration
+	// NodeCPU / NodeMemMB / NodeNetMbps resize the machines (defaults
+	// 4 / 8192 / 1000).
+	NodeCPU     float64
+	NodeMemMB   float64
+	NodeNetMbps float64
+}
+
+// Simulation is a fully wired autoscaler platform running on the simulated
+// cluster. It wraps the internal platform with a stable public surface.
+type Simulation struct {
+	world *platform.World
+}
+
+// NewSimulation builds a simulation from cfg.
+func NewSimulation(cfg SimConfig) (*Simulation, error) {
+	pc := platform.DefaultConfig(cfg.Seed)
+	if cfg.Nodes > 0 {
+		pc.Nodes = cfg.Nodes
+	}
+	if cfg.MonitorPeriod > 0 {
+		pc.MonitorPeriod = cfg.MonitorPeriod
+	}
+	if cfg.NodeCPU > 0 {
+		pc.NodeTemplate.Capacity.CPU = cfg.NodeCPU
+	}
+	if cfg.NodeMemMB > 0 {
+		pc.NodeTemplate.Capacity.MemMB = cfg.NodeMemMB
+	}
+	if cfg.NodeNetMbps > 0 {
+		pc.NodeTemplate.Capacity.NetMbps = cfg.NodeNetMbps
+		pc.NodeTemplate.Net.CapacityMbps = cfg.NodeNetMbps
+	}
+	name := cfg.Algorithm
+	if name == "" {
+		name = AlgoHyScaleCPUMem
+	}
+	algo, err := NewAlgorithm(name)
+	if err != nil {
+		return nil, err
+	}
+	w, err := platform.New(pc, algo)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulation{world: w}, nil
+}
+
+// AddService registers a microservice with its utilization target and load
+// pattern and deploys its minimum replicas.
+func (s *Simulation) AddService(spec workload.ServiceSpec, targetUtil float64, pattern loadgen.Pattern) error {
+	return s.world.AddService(spec, targetUtil, pattern)
+}
+
+// Run advances the simulation to the given horizon of simulated time.
+func (s *Simulation) Run(d time.Duration) error { return s.world.Run(d) }
+
+// Report returns the aggregate user-perceived performance summary.
+func (s *Simulation) Report() metrics.Summary { return s.world.Summary() }
+
+// ServiceReport returns one service's summary.
+func (s *Simulation) ServiceReport(name string) metrics.Summary {
+	return s.world.Recorder().SummarizeService(name)
+}
+
+// Actions returns the cumulative scaling-operation counters.
+func (s *Simulation) Actions() monitor.ActionCounts { return s.world.Monitor().Counts() }
+
+// Replicas returns the live replica count of a service.
+func (s *Simulation) Replicas(service string) int {
+	return len(s.world.Monitor().Replicas(service))
+}
+
+// World exposes the underlying platform for advanced scenarios (manual
+// placement, stress containers, custom events). Most callers should not
+// need it.
+func (s *Simulation) World() *platform.World { return s.world }
+
+// --- Service spec helpers -------------------------------------------------
+
+func baseSpec(name string, kind workload.Kind) workload.ServiceSpec {
+	return workload.ServiceSpec{
+		Name: name, Kind: kind,
+		CPUOverheadPerRequest: 0.01,
+		BaselineMemMB:         300,
+		InitialReplicaCPU:     1,
+		InitialReplicaMemMB:   768,
+		MinReplicas:           1,
+		MaxReplicas:           10,
+		Timeout:               30 * time.Second,
+	}
+}
+
+// CPUBoundService returns a CPU-bound microservice consuming cpuSeconds of
+// CPU per request.
+func CPUBoundService(name string, cpuSeconds float64) workload.ServiceSpec {
+	s := baseSpec(name, workload.KindCPUBound)
+	s.CPUPerRequest = cpuSeconds
+	s.MemPerRequest = 2
+	return s
+}
+
+// MemoryBoundService returns a memory-bound microservice holding memMB of
+// transient memory per request.
+func MemoryBoundService(name string, memMB float64) workload.ServiceSpec {
+	s := baseSpec(name, workload.KindMemoryBound)
+	s.CPUPerRequest = 0.02
+	s.MemPerRequest = memMB
+	return s
+}
+
+// NetworkBoundService returns a network-bound microservice transmitting
+// megabits of response payload per request, shaped at capMbps per replica.
+func NetworkBoundService(name string, megabits, capMbps float64) workload.ServiceSpec {
+	s := baseSpec(name, workload.KindNetworkBound)
+	s.CPUPerRequest = 0.03
+	s.MemPerRequest = 4
+	s.NetPerRequest = megabits
+	s.InitialReplicaNetMbps = capMbps
+	return s
+}
+
+// MixedService returns a mixed CPU+memory microservice.
+func MixedService(name string, cpuSeconds, memMB float64) workload.ServiceSpec {
+	s := baseSpec(name, workload.KindMixed)
+	s.CPUPerRequest = cpuSeconds
+	s.MemPerRequest = memMB
+	s.InitialReplicaMemMB = 640
+	return s
+}
+
+// --- Load pattern helpers ---------------------------------------------------
+
+// ConstantLoad is a flat arrival rate in requests/second.
+func ConstantLoad(rps float64) loadgen.Pattern { return loadgen.Constant{RPS: rps} }
+
+// WaveLoad is the paper's low-burst stable pattern: a sinusoid around base
+// with the given relative amplitude and period.
+func WaveLoad(baseRPS, amplitude float64, period time.Duration) loadgen.Pattern {
+	return loadgen.Wave{Base: baseRPS, Amplitude: amplitude, Period: period}
+}
+
+// BurstLoad is the paper's high-burst unstable pattern: rate jumps from base
+// to peak for burstLen out of every period.
+func BurstLoad(baseRPS, peakRPS float64, period, burstLen time.Duration) loadgen.Pattern {
+	return loadgen.Burst{Base: baseRPS, Peak: peakRPS, Period: period, BurstLen: burstLen}
+}
+
+// NodeDefaults returns the paper's machine shape, for callers that want to
+// inspect or derive cluster configs.
+func NodeDefaults() cluster.NodeConfig { return cluster.DefaultNodeConfig("node") }

@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"hyscale/internal/container"
+	"hyscale/internal/workload"
+)
+
+// Cluster is the set of worker machines the Monitor arbitrates over.
+type Cluster struct {
+	nodes []*Node
+	byID  map[string]*Node
+}
+
+// New builds a cluster from node configs, preserving order.
+func New(cfgs ...NodeConfig) (*Cluster, error) {
+	c := &Cluster{byID: make(map[string]*Node, len(cfgs))}
+	for _, cfg := range cfgs {
+		if err := c.AddNode(cfg); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// NewHomogeneous builds n identical nodes named node-0 … node-(n-1) using
+// the supplied template config (its ID field is overwritten).
+func NewHomogeneous(n int, template NodeConfig) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one node, got %d", n)
+	}
+	cfgs := make([]NodeConfig, n)
+	for i := range cfgs {
+		cfgs[i] = template
+		cfgs[i].ID = fmt.Sprintf("node-%d", i)
+	}
+	return New(cfgs...)
+}
+
+// AddNode registers a new machine, supporting the paper's future-work item
+// of dynamic machine addition.
+func (c *Cluster) AddNode(cfg NodeConfig) error {
+	if _, dup := c.byID[cfg.ID]; dup {
+		return fmt.Errorf("cluster: duplicate node ID %q", cfg.ID)
+	}
+	n, err := NewNode(cfg)
+	if err != nil {
+		return err
+	}
+	c.nodes = append(c.nodes, n)
+	c.byID[cfg.ID] = n
+	return nil
+}
+
+// RemoveNode decommissions a machine, killing every container on it. It
+// returns the requests that died with the node, or an error for unknown IDs.
+func (c *Cluster) RemoveNode(id string) ([]*workload.Request, error) {
+	n, ok := c.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown node %q", id)
+	}
+	var killed []*workload.Request
+	for _, cc := range append([]*container.Container(nil), n.Containers()...) {
+		killed = append(killed, n.RemoveContainer(cc.ID)...)
+	}
+	delete(c.byID, id)
+	for i, nn := range c.nodes {
+		if nn.ID() == id {
+			c.nodes = append(c.nodes[:i], c.nodes[i+1:]...)
+			break
+		}
+	}
+	return killed, nil
+}
+
+// Node returns the node with the given ID, or nil.
+func (c *Cluster) Node(id string) *Node { return c.byID[id] }
+
+// Nodes returns all nodes in deterministic order. Callers must not mutate
+// the slice.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// FindContainer locates a container anywhere in the cluster.
+func (c *Cluster) FindContainer(id string) (*container.Container, *Node) {
+	for _, n := range c.nodes {
+		if cc := n.Container(id); cc != nil {
+			return cc, n
+		}
+	}
+	return nil, nil
+}
+
+// ReplicasOf returns every non-removed replica of the service across the
+// cluster, in deterministic node/container order.
+func (c *Cluster) ReplicasOf(service string) []*container.Container {
+	var out []*container.Container
+	for _, n := range c.nodes {
+		for _, cc := range n.Containers() {
+			if cc.Service == service && cc.State != container.StateRemoved {
+				out = append(out, cc)
+			}
+		}
+	}
+	return out
+}
+
+// Advance runs one physics tick on every node and merges the results.
+func (c *Cluster) Advance(now time.Duration, dt time.Duration) TickResult {
+	var res TickResult
+	for _, n := range c.nodes {
+		r := n.Advance(now, dt)
+		res.Completed = append(res.Completed, r.Completed...)
+		res.TimedOut = append(res.TimedOut, r.TimedOut...)
+	}
+	return res
+}

@@ -1,0 +1,380 @@
+// Package container models a Docker container hosting exactly one
+// microservice replica, the paper's unit of deployment (§V-A). It reproduces
+// the control surface the autoscaler platform drives — `docker update` for
+// CPU shares and memory limits, tc egress caps, container start latency, and
+// in-flight request loss on removal — without running real containers.
+package container
+
+import (
+	"fmt"
+	"time"
+
+	"hyscale/internal/resources"
+	"hyscale/internal/workload"
+)
+
+// State is the container lifecycle state.
+type State int
+
+// Container lifecycle states. A container is only routable while Running.
+const (
+	StateStarting State = iota + 1
+	StateRunning
+	StateRemoved
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateStarting:
+		return "starting"
+	case StateRunning:
+		return "running"
+	case StateRemoved:
+		return "removed"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Usage is a point-in-time resource usage sample for one container, in the
+// same units the `docker stats` API reports conceptually: consumed CPU cores,
+// resident memory, and egress bandwidth over the last accounting window.
+type Usage struct {
+	CPU     float64 // cores actually consumed
+	MemMB   float64 // resident set, including what would be swapped
+	NetMbps float64 // egress bandwidth achieved
+}
+
+// Container is one replica of a microservice. All mutation happens on the
+// simulation goroutine; the type carries no locks by design (the engine is
+// single-threaded).
+type Container struct {
+	// ID uniquely identifies the container in the cluster.
+	ID string
+	// Service is the microservice this replica belongs to.
+	Service string
+	// NodeID is the machine hosting the container.
+	NodeID string
+
+	// Spec is the service specification (per-request demands, baseline
+	// memory, timeout).
+	Spec workload.ServiceSpec
+
+	// Alloc is the container's current resource allocation: the CPU request
+	// (expressed through Docker CPU shares), the memory limit, and the tc
+	// egress cap. Vertical scaling rewrites this vector in place, which is
+	// the simulated `docker update`.
+	Alloc resources.Vector
+
+	// State is the lifecycle state.
+	State State
+	// ReadyAt is when a Starting container becomes Running.
+	ReadyAt time.Duration
+
+	// StressCPUDemand makes the container behave like the paper's progrium
+	// stress contender: it permanently demands this many cores regardless of
+	// in-flight requests. Zero for normal microservice replicas.
+	StressCPUDemand float64
+	// StressNetFlows makes the container hog egress bandwidth permanently
+	// with this many concurrent flows, like the flooding network stress
+	// container of §III-C. Zero for normal replicas.
+	StressNetFlows int
+
+	inflight []*workload.Request
+
+	// lastUsage is the usage measured over the most recent physics tick; the
+	// node manager samples it to answer the Monitor's stats queries.
+	lastUsage Usage
+
+	// cumulative counters for diagnostics and tests.
+	completed uint64
+}
+
+// New creates a container in the Starting state that becomes Running at
+// readyAt.
+func New(id string, spec workload.ServiceSpec, nodeID string, alloc resources.Vector, readyAt time.Duration) *Container {
+	return &Container{
+		ID:      id,
+		Service: spec.Name,
+		NodeID:  nodeID,
+		Spec:    spec,
+		Alloc:   alloc,
+		State:   StateStarting,
+		ReadyAt: readyAt,
+	}
+}
+
+// MaybeStart transitions Starting→Running once now has reached ReadyAt.
+func (c *Container) MaybeStart(now time.Duration) {
+	if c.State == StateStarting && now >= c.ReadyAt {
+		c.State = StateRunning
+	}
+}
+
+// Routable reports whether the load balancer may send requests here.
+func (c *Container) Routable() bool { return c.State == StateRunning }
+
+// Update applies a vertical scaling action (the simulated `docker update`):
+// it replaces the allocation vector. Components must be non-negative.
+func (c *Container) Update(alloc resources.Vector) error {
+	if !alloc.NonNegative() {
+		return fmt.Errorf("container %s: negative allocation %v", c.ID, alloc)
+	}
+	c.Alloc = alloc
+	return nil
+}
+
+// Enqueue admits a request for processing. The caller (load balancer) must
+// have checked Routable.
+func (c *Container) Enqueue(r *workload.Request) {
+	c.inflight = append(c.inflight, r)
+}
+
+// Inflight returns the number of requests currently being processed.
+func (c *Container) Inflight() int { return len(c.inflight) }
+
+// InflightRequests exposes the in-flight slice for the physics loop. Callers
+// must not retain the slice across ticks.
+func (c *Container) InflightRequests() []*workload.Request { return c.inflight }
+
+// Completed returns the cumulative number of requests this container
+// finished successfully.
+func (c *Container) Completed() uint64 { return c.completed }
+
+// MemUsageMB returns current resident memory: the application baseline plus
+// the transient footprint of every in-flight request. Usage beyond the
+// memory limit is what forces the (simulated) kernel to swap.
+func (c *Container) MemUsageMB() float64 {
+	m := c.Spec.BaselineMemMB
+	for _, r := range c.inflight {
+		m += r.MemFootprintMB
+	}
+	return m
+}
+
+// Swapping reports whether resident memory exceeds the memory limit, i.e.
+// the container is paying the swap penalty of §III-B.
+func (c *Container) Swapping() bool {
+	return c.Alloc.MemMB > 0 && c.MemUsageMB() > c.Alloc.MemMB
+}
+
+// SwapDepth returns resident memory as a multiple of the memory limit (1.0
+// at the limit, 2.0 at twice the limit). The swap slowdown deepens with this
+// ratio: the further past the limit, the larger the fraction of the working
+// set living on disk. Returns 0 when no limit is set.
+func (c *Container) SwapDepth() float64 {
+	if c.Alloc.MemMB <= 0 {
+		return 0
+	}
+	return c.MemUsageMB() / c.Alloc.MemMB
+}
+
+// Overloaded reports whether the container is so far past its memory limit
+// that it stops accepting new connections (the microservice-level rejection
+// behind the paper's "connection failures"). The threshold is three times
+// the limit — by then nearly the whole working set is swapped.
+func (c *Container) Overloaded() bool {
+	return c.Alloc.MemMB > 0 && c.MemUsageMB() > 3*c.Alloc.MemMB
+}
+
+// CPUDemand returns the CPU the container could consume this instant: the
+// application's constant background burn plus one core per in-flight
+// request in the CPU phase (requests are single-threaded). Stress containers
+// demand their configured amount permanently.
+func (c *Container) CPUDemand() float64 {
+	n := 0
+	for _, r := range c.inflight {
+		if r.Phase == workload.PhaseCPU {
+			n++
+		}
+	}
+	d := float64(n) + c.Spec.BackgroundCPU
+	if c.StressCPUDemand > d {
+		d = c.StressCPUDemand
+	}
+	return d
+}
+
+// NetActive reports whether any in-flight request is in the network phase
+// (or the container is a network stress hog).
+func (c *Container) NetActive() bool {
+	return c.NetFlowCount() > 0
+}
+
+// NetFlowCount returns the number of concurrent transmitting micro-flows:
+// the in-flight requests in the network phase, plus the persistent flows of
+// a network stress hog. The node's tx-queue contention grows with this
+// count.
+func (c *Container) NetFlowCount() int {
+	n := c.StressNetFlows
+	for _, r := range c.inflight {
+		if r.Phase == workload.PhaseNet {
+			n++
+		}
+	}
+	return n
+}
+
+// SetLastUsage records the usage measured over the latest physics tick.
+func (c *Container) SetLastUsage(u Usage) { c.lastUsage = u }
+
+// LastUsage returns the most recent usage sample (what `docker stats` would
+// report).
+func (c *Container) LastUsage() Usage { return c.lastUsage }
+
+// AdvanceResult describes what happened to the container's in-flight
+// requests during one physics tick.
+type AdvanceResult struct {
+	// Completed holds requests that finished both phases this tick, along
+	// with the simulated completion time of each.
+	Completed []CompletedRequest
+	// TimedOut holds requests that crossed their deadline this tick.
+	TimedOut []*workload.Request
+}
+
+// CompletedRequest pairs a finished request with its completion instant.
+type CompletedRequest struct {
+	Request *workload.Request
+	At      time.Duration
+}
+
+// Advance progresses in-flight requests by dt given the CPU rate (cores
+// actually delivered to this container this tick, after node-level sharing
+// and contention) and the egress rate (Mbps delivered after tc shaping and
+// tx-queue contention). It returns completions and timeouts and updates the
+// container's usage sample.
+//
+// Within the container, requests in the CPU phase share the delivered CPU
+// equally (processor sharing), and requests in the network phase share the
+// delivered egress bandwidth equally — matching how the kernel scheduler and
+// a fair tc qdisc behave.
+func (c *Container) Advance(now time.Duration, dt time.Duration, cpuRate, netRate float64) AdvanceResult {
+	var res AdvanceResult
+	if dt <= 0 {
+		return res
+	}
+	sec := dt.Seconds()
+
+	cpuReqs := 0
+	netReqs := 0
+	for _, r := range c.inflight {
+		switch r.Phase {
+		case workload.PhaseCPU:
+			cpuReqs++
+		case workload.PhaseNet:
+			netReqs++
+		}
+	}
+
+	cpuConsumed := 0.0
+	netConsumed := 0.0
+
+	// The application's background burn (GC, agents) is served before
+	// request work and produces no request progress.
+	bg := c.Spec.BackgroundCPU
+	if bg > cpuRate {
+		bg = cpuRate
+	}
+	cpuConsumed += bg * sec
+	requestRate := cpuRate - bg
+
+	perReqCPU := 0.0
+	if cpuReqs > 0 {
+		perReqCPU = requestRate / float64(cpuReqs)
+		// A single-threaded request can use at most one core.
+		if perReqCPU > 1 {
+			perReqCPU = 1
+		}
+	}
+	perReqNet := 0.0
+	if netReqs > 0 {
+		perReqNet = netRate / float64(netReqs)
+	}
+
+	kept := c.inflight[:0]
+	for _, r := range c.inflight {
+		finishedAt := now + dt
+		switch r.Phase {
+		case workload.PhaseCPU:
+			work := perReqCPU * sec
+			if work >= r.RemainingCPU && perReqCPU > 0 {
+				// Finished the CPU phase mid-tick; estimate the sub-tick
+				// instant for response-time accuracy and move any leftover
+				// effort to the network phase only conceptually (the network
+				// phase starts next tick; the residual error is bounded by
+				// one tick).
+				frac := r.RemainingCPU / (perReqCPU * sec)
+				cpuConsumed += r.RemainingCPU
+				r.RemainingCPU = 0
+				if r.RemainingNetMb <= 0 {
+					r.Phase = workload.PhaseDone
+					finishedAt = now + time.Duration(float64(dt)*frac)
+				} else {
+					r.Phase = workload.PhaseNet
+				}
+			} else {
+				cpuConsumed += work
+				r.RemainingCPU -= work
+			}
+		case workload.PhaseNet:
+			sent := perReqNet * sec
+			if sent >= r.RemainingNetMb && perReqNet > 0 {
+				frac := r.RemainingNetMb / (perReqNet * sec)
+				netConsumed += r.RemainingNetMb
+				r.RemainingNetMb = 0
+				r.Phase = workload.PhaseDone
+				finishedAt = now + time.Duration(float64(dt)*frac)
+			} else {
+				netConsumed += sent
+				r.RemainingNetMb -= sent
+			}
+		}
+
+		switch {
+		case r.Phase == workload.PhaseDone:
+			c.completed++
+			res.Completed = append(res.Completed, CompletedRequest{Request: r, At: finishedAt})
+		case now+dt >= r.Deadline:
+			res.TimedOut = append(res.TimedOut, r)
+		default:
+			kept = append(kept, r)
+		}
+	}
+	// Zero the tail so dropped requests do not linger.
+	for i := len(kept); i < len(c.inflight); i++ {
+		c.inflight[i] = nil
+	}
+	c.inflight = kept
+
+	// Stress containers burn whatever they were granted even though they
+	// complete no requests.
+	if c.StressCPUDemand > 0 {
+		granted := cpuRate
+		if granted > c.StressCPUDemand {
+			granted = c.StressCPUDemand
+		}
+		if granted*sec > cpuConsumed {
+			cpuConsumed = granted * sec
+		}
+	}
+	if c.StressNetFlows > 0 && netRate*sec > netConsumed {
+		netConsumed = netRate * sec
+	}
+
+	c.lastUsage = Usage{
+		CPU:     cpuConsumed / sec,
+		MemMB:   c.MemUsageMB(),
+		NetMbps: netConsumed / sec,
+	}
+	return res
+}
+
+// Remove transitions the container to Removed and returns the in-flight
+// requests that were killed — the paper's "removal failures".
+func (c *Container) Remove() []*workload.Request {
+	killed := c.inflight
+	c.inflight = nil
+	c.State = StateRemoved
+	return killed
+}

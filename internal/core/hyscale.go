@@ -1,0 +1,454 @@
+package core
+
+import (
+	"fmt"
+
+	"hyscale/internal/resources"
+)
+
+// HyScale implements the paper's hybrid autoscaling algorithms (§IV-B).
+//
+// Per decision round it: (1) enforces the min/max replica bounds for fault
+// tolerance, (2) computes each service's missing resources
+//
+//	Missing_m = (Σ usage_r − Σ requested_r · Target) / Target
+//
+// (3) runs the reclamation phase — vertically scaling down over-provisioned
+// replicas to usage/(Target·0.9) and removing replicas whose allocation
+// falls below the minimum thresholds — and (4) runs the acquisition phase —
+// vertically scaling starved replicas up by
+//
+//	Acquired_r = min( usage_r/(Target·0.9) − requested_r , Available_node )
+//
+// falling back to horizontal scale-out onto nodes that do not already host
+// the service and advertise at least the service's baseline memory and the
+// minimum CPU (0.25). Horizontal actions respect the rescale intervals;
+// vertical actions are exempt (§IV-B1).
+//
+// With memAware=false this is HYSCALE_CPU; with memAware=true it is
+// HYSCALE_CPU+Mem, which applies the same equations to memory and requires
+// the CPU and memory removal/addition thresholds to be met mutually.
+type HyScale struct {
+	cfg      Config
+	memAware bool
+	gate     *intervalGate
+	name     string
+	opts     HyScaleOptions
+}
+
+var _ Algorithm = (*HyScale)(nil)
+
+// NewHyScaleCPU builds HYSCALE_CPU (§IV-B1).
+func NewHyScaleCPU(cfg Config) *HyScale {
+	return &HyScale{
+		cfg:  cfg,
+		gate: newIntervalGate(cfg.ScaleUpInterval, cfg.ScaleDownInterval),
+		name: "hybrid",
+	}
+}
+
+// NewHyScaleCPUMem builds HYSCALE_CPU+Mem (§IV-B2).
+func NewHyScaleCPUMem(cfg Config) *HyScale {
+	return &HyScale{
+		cfg:      cfg,
+		memAware: true,
+		gate:     newIntervalGate(cfg.ScaleUpInterval, cfg.ScaleDownInterval),
+		name:     "hybridmem",
+	}
+}
+
+// Name implements Algorithm.
+func (h *HyScale) Name() string { return h.name }
+
+// missing tracks a service's outstanding resource deficit (positive) or
+// surplus (negative) during one decision round.
+type missing struct {
+	cpu float64
+	mem float64
+}
+
+// pendingAllocs tracks in-round vertical adjustments so the reclamation and
+// acquisition phases compose instead of overwriting each other with stale
+// snapshot values. One merged VerticalScale per touched container is emitted
+// at the end of the round.
+type pendingAllocs struct {
+	allocs map[string]resources.Vector
+	order  []string
+}
+
+func newPendingAllocs() *pendingAllocs {
+	return &pendingAllocs{allocs: make(map[string]resources.Vector)}
+}
+
+// current returns the replica's allocation as adjusted so far this round.
+func (p *pendingAllocs) current(r ReplicaStats) resources.Vector {
+	if a, ok := p.allocs[r.ContainerID]; ok {
+		return a
+	}
+	return r.Requested
+}
+
+// set records an adjusted allocation.
+func (p *pendingAllocs) set(id string, a resources.Vector) {
+	if _, seen := p.allocs[id]; !seen {
+		p.order = append(p.order, id)
+	}
+	p.allocs[id] = a
+}
+
+// emit appends one merged VerticalScale per touched container.
+func (p *pendingAllocs) emit(plan *Plan, removed map[string]bool) {
+	for _, id := range p.order {
+		if removed[id] {
+			continue
+		}
+		plan.Actions = append(plan.Actions, VerticalScale{ContainerID: id, NewAlloc: p.allocs[id]})
+	}
+}
+
+// Decide implements Algorithm.
+func (h *HyScale) Decide(snap Snapshot) Plan {
+	var plan Plan
+	avail := availableByNode(snap)
+	// hosted tracks service→nodes placement including tentative scale-outs
+	// made during this round.
+	hosted := make(map[string]map[string]bool)
+	for _, n := range snap.Nodes {
+		for _, s := range n.Hosts {
+			if hosted[s] == nil {
+				hosted[s] = make(map[string]bool)
+			}
+			hosted[s][n.ID] = true
+		}
+	}
+	// removed tracks containers scheduled for ScaleIn so later phases do not
+	// also emit vertical actions for them.
+	removed := make(map[string]bool)
+	// replicaCount tracks tentative replica counts.
+	replicaCount := make(map[string]int, len(snap.Services))
+
+	deficits := make(map[string]*missing, len(snap.Services))
+	for _, svc := range snap.Services {
+		replicaCount[svc.Info.Name] = len(svc.Replicas)
+		deficits[svc.Info.Name] = h.deficitOf(svc)
+	}
+
+	// Phase 0: fault-tolerance bounds.
+	for _, svc := range snap.Services {
+		h.enforceBounds(snap, svc, avail, hosted, removed, replicaCount, &plan)
+	}
+
+	pending := newPendingAllocs()
+
+	// Phase 1: reclamation frees resources on every node before anyone
+	// tries to acquire them.
+	for _, svc := range snap.Services {
+		h.reclaim(snap, svc, deficits[svc.Info.Name], avail, removed, replicaCount, pending, &plan)
+	}
+
+	// Phase 2: acquisition — vertical first, horizontal as a fallback.
+	for _, svc := range snap.Services {
+		h.acquire(snap, svc, deficits[svc.Info.Name], avail, hosted, removed, replicaCount, pending, &plan)
+	}
+
+	pending.emit(&plan, removed)
+	return plan
+}
+
+// deficitOf computes Missing_m for CPU (and memory when memory-aware).
+func (h *HyScale) deficitOf(svc ServiceStats) *missing {
+	t := svc.Info.TargetUtil
+	if t <= 0 {
+		return &missing{}
+	}
+	var usageCPU, reqCPU, usageMem, reqMem float64
+	for _, r := range svc.Replicas {
+		usageCPU += r.Usage.CPU
+		reqCPU += r.Requested.CPU
+		usageMem += r.Usage.MemMB
+		reqMem += r.Requested.MemMB
+	}
+	d := &missing{cpu: (usageCPU - reqCPU*t) / t}
+	if h.memAware {
+		d.mem = (usageMem - reqMem*t) / t
+	}
+	return d
+}
+
+// enforceBounds starts replicas below MinReplicas and removes replicas above
+// MaxReplicas, bypassing the rescale gates (availability first).
+func (h *HyScale) enforceBounds(snap Snapshot, svc ServiceStats, avail map[string]resources.Vector,
+	hosted map[string]map[string]bool, removed map[string]bool, replicaCount map[string]int, plan *Plan) {
+
+	info := svc.Info
+	for replicaCount[info.Name] < info.MinReplicas {
+		nodeID := h.pickScaleOutNode(snap, info, avail, hosted)
+		if nodeID == "" {
+			return
+		}
+		h.emitScaleOut(info, nodeID, info.InitialAlloc, avail, hosted, replicaCount, plan)
+	}
+	for i := len(svc.Replicas) - 1; i >= 0 && replicaCount[info.Name] > info.MaxReplicas; i-- {
+		r := svc.Replicas[i]
+		if removed[r.ContainerID] {
+			continue
+		}
+		h.emitScaleIn(info.Name, r, avail, removed, replicaCount, plan)
+	}
+}
+
+// reclaim performs downward vertical scaling on over-provisioned services
+// and removes replicas that shrink below the minimum thresholds.
+func (h *HyScale) reclaim(snap Snapshot, svc ServiceStats, def *missing, avail map[string]resources.Vector,
+	removed map[string]bool, replicaCount map[string]int, pending *pendingAllocs, plan *Plan) {
+
+	info := svc.Info
+	t := info.TargetUtil
+	if t <= 0 {
+		return
+	}
+	if h.opts.DisableReclamation {
+		return
+	}
+	reclaimCPU := def.cpu < 0
+	reclaimMem := h.memAware && def.mem < 0
+	if !reclaimCPU && !reclaimMem {
+		return
+	}
+	// The horizontal-only ablation may still remove idle replicas but must
+	// not resize them.
+	resizeAllowed := !h.opts.DisableVertical
+
+	for _, r := range svc.Replicas {
+		if removed[r.ContainerID] || !r.Routable {
+			continue
+		}
+		cur := pending.current(r)
+		newAlloc := cur
+
+		// Desired requests at 90 % of target so the replica keeps headroom.
+		wantCPU := r.Usage.CPU / (t * 0.9)
+		wantMem := r.Usage.MemMB / (t * 0.9)
+
+		cpuIdle := wantCPU < h.cfg.MinReplicaCPU
+		// Memory-idle looks at the transient footprint above the
+		// application baseline: the baseline itself is resident in every
+		// replica and says nothing about load.
+		activeMem := maxf(r.Usage.MemMB-info.BaselineMemMB, 0)
+		memIdle := activeMem/(t*0.9) < info.BaselineMemMB*h.cfg.MemHeadroom
+
+		// Removal: the CPU threshold alone decides for HYSCALE_CPU; the
+		// CPU and memory conditions must hold mutually for HYSCALE_CPU+Mem
+		// (§IV-B2).
+		// Replica removal is a horizontal action and honours the rescale
+		// interval like every other horizontal action (§IV-B1's thrash
+		// throttle); vertical reclamation below stays exempt.
+		removable := cpuIdle && (!h.memAware || memIdle)
+		if removable && replicaCount[info.Name] > info.MinReplicas && def.cpu < 0 &&
+			h.gate.canDown(info.Name, snap.Now) {
+			h.emitScaleIn(info.Name, r, avail, removed, replicaCount, plan)
+			h.gate.markDown(info.Name, snap.Now)
+			def.cpu += cur.CPU
+			if h.memAware {
+				def.mem += cur.MemMB
+			}
+			continue
+		}
+
+		if !resizeAllowed {
+			continue
+		}
+		changed := false
+		if reclaimCPU && wantCPU < cur.CPU {
+			// ReclaimableCPUs_r = requested_r − usage_r/(Target·0.9).
+			reclaimable := cur.CPU - wantCPU
+			newAlloc.CPU = cur.CPU - reclaimable
+			def.cpu += reclaimable
+			changed = true
+		}
+		if reclaimMem {
+			// Never reclaim below the application baseline: the replica
+			// would immediately swap.
+			floor := info.BaselineMemMB * (1 + h.cfg.MemHeadroom)
+			wantMemClamped := maxf(wantMem, floor)
+			if wantMemClamped < cur.MemMB {
+				reclaimable := cur.MemMB - wantMemClamped
+				newAlloc.MemMB = cur.MemMB - reclaimable
+				def.mem += reclaimable
+				changed = true
+			}
+		}
+		if changed {
+			freed := cur.Sub(newAlloc).ClampNonNegative()
+			avail[r.NodeID] = avail[r.NodeID].Add(freed)
+			pending.set(r.ContainerID, newAlloc)
+		}
+	}
+}
+
+// acquire vertically scales starved replicas up using node headroom and
+// falls back to horizontal scale-out for whatever deficit remains.
+func (h *HyScale) acquire(snap Snapshot, svc ServiceStats, def *missing, avail map[string]resources.Vector,
+	hosted map[string]map[string]bool, removed map[string]bool, replicaCount map[string]int,
+	pending *pendingAllocs, plan *Plan) {
+
+	info := svc.Info
+	t := info.TargetUtil
+	if t <= 0 {
+		return
+	}
+	const eps = 0.01
+	needCPU := def.cpu > eps
+	needMem := h.memAware && def.mem > eps
+	if !needCPU && !needMem {
+		return
+	}
+
+	for _, r := range svc.Replicas {
+		if h.opts.DisableVertical {
+			break
+		}
+		if removed[r.ContainerID] || !r.Routable {
+			continue
+		}
+		a := avail[r.NodeID]
+		cur := pending.current(r)
+		newAlloc := cur
+		changed := false
+
+		if needCPU {
+			// AcquiredCPUs_r = min(RequiredCPUs_r, AvailableCPUs_n).
+			required := r.Usage.CPU/(t*0.9) - cur.CPU
+			if required > 0 {
+				acquired := minf(required, a.CPU)
+				if acquired > 0 {
+					newAlloc.CPU += acquired
+					a.CPU -= acquired
+					def.cpu -= acquired
+					changed = true
+				}
+			}
+		}
+		if needMem {
+			required := r.Usage.MemMB/(t*0.9) - cur.MemMB
+			if required > 0 {
+				acquired := minf(required, a.MemMB)
+				if acquired > 0 {
+					newAlloc.MemMB += acquired
+					a.MemMB -= acquired
+					def.mem -= acquired
+					changed = true
+				}
+			}
+		}
+		if changed {
+			avail[r.NodeID] = a
+			pending.set(r.ContainerID, newAlloc)
+		}
+	}
+
+	// Horizontal fallback for the remaining deficit, throttled by the
+	// scale-up interval.
+	if h.opts.DisableHorizontal {
+		return
+	}
+	if def.cpu <= eps && (!h.memAware || def.mem <= eps) {
+		return
+	}
+	if !h.gate.canUp(info.Name, snap.Now) {
+		return
+	}
+	placedAny := false
+	for (def.cpu > eps || (h.memAware && def.mem > eps)) && replicaCount[info.Name] < info.MaxReplicas {
+		nodeID := h.pickScaleOutNode(snap, info, avail, hosted)
+		if nodeID == "" {
+			break
+		}
+		a := avail[nodeID]
+		allocCPU := maxf(def.cpu, h.cfg.MinScaleOutCPU)
+		allocCPU = minf(allocCPU, a.CPU)
+		allocMem := info.InitialAlloc.MemMB
+		if h.memAware {
+			allocMem = maxf(allocMem, info.BaselineMemMB*(1+h.cfg.MemHeadroom)+maxf(def.mem, 0))
+		}
+		allocMem = minf(allocMem, a.MemMB)
+		alloc := resources.Vector{CPU: allocCPU, MemMB: allocMem, NetMbps: info.InitialAlloc.NetMbps}
+		h.emitScaleOut(info, nodeID, alloc, avail, hosted, replicaCount, plan)
+		def.cpu -= allocCPU
+		if h.memAware {
+			def.mem -= allocMem - info.BaselineMemMB
+		}
+		placedAny = true
+	}
+	if placedAny {
+		h.gate.markUp(info.Name, snap.Now)
+	}
+}
+
+// pickScaleOutNode selects the node with the most available CPU that (a)
+// does not already host the service and (b) advertises at least the
+// service's baseline memory and the minimum scale-out CPU (§IV-B1).
+func (h *HyScale) pickScaleOutNode(snap Snapshot, info ServiceInfo, avail map[string]resources.Vector,
+	hosted map[string]map[string]bool) string {
+
+	need := resources.Vector{CPU: h.cfg.MinScaleOutCPU, MemMB: maxf(info.BaselineMemMB, info.InitialAlloc.MemMB)}
+	best := ""
+	bestCPU := 0.0
+	for _, n := range snap.Nodes {
+		if hosted[info.Name][n.ID] {
+			continue
+		}
+		a := avail[n.ID]
+		if !need.FitsIn(a) {
+			continue
+		}
+		better := best == "" ||
+			(h.cfg.Placement == PlacementBinPack && a.CPU < bestCPU) ||
+			(h.cfg.Placement != PlacementBinPack && a.CPU > bestCPU)
+		if better {
+			bestCPU = a.CPU
+			best = n.ID
+		}
+	}
+	return best
+}
+
+func (h *HyScale) emitScaleOut(info ServiceInfo, nodeID string, alloc resources.Vector,
+	avail map[string]resources.Vector, hosted map[string]map[string]bool, replicaCount map[string]int, plan *Plan) {
+
+	plan.Actions = append(plan.Actions, ScaleOut{Service: info.Name, NodeID: nodeID, Alloc: alloc})
+	avail[nodeID] = avail[nodeID].Sub(alloc).ClampNonNegative()
+	if hosted[info.Name] == nil {
+		hosted[info.Name] = make(map[string]bool)
+	}
+	hosted[info.Name][nodeID] = true
+	replicaCount[info.Name]++
+}
+
+func (h *HyScale) emitScaleIn(service string, r ReplicaStats, avail map[string]resources.Vector,
+	removed map[string]bool, replicaCount map[string]int, plan *Plan) {
+
+	plan.Actions = append(plan.Actions, ScaleIn{ContainerID: r.ContainerID})
+	removed[r.ContainerID] = true
+	avail[r.NodeID] = avail[r.NodeID].Add(r.Requested)
+	replicaCount[service]--
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// String implements fmt.Stringer for debugging.
+func (h *HyScale) String() string {
+	return fmt.Sprintf("HyScale(memAware=%v)", h.memAware)
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math"
+
+	"hyscale/internal/resources"
+)
+
+// Metric selects which resource dimension a horizontal autoscaler observes.
+type Metric int
+
+// Metrics.
+const (
+	MetricCPU Metric = iota + 1
+	MetricNet
+)
+
+// Kubernetes implements the horizontal autoscaling algorithm of §IV-A1:
+//
+//	util_r       = usage_r / requested_r
+//	NumReplicas  = ceil( Σ util_r / Target )
+//
+// with the 0.1 tolerance thrash guard, min/max replica clamps, and the
+// 3 s / 50 s scale-up / scale-down intervals. The same decision procedure
+// parameterised on egress bandwidth is the paper's network scaling
+// algorithm (§IV-A2); see NewNetworkHPA.
+type Kubernetes struct {
+	cfg    Config
+	metric Metric
+	gate   *intervalGate
+	name   string
+}
+
+var _ Algorithm = (*Kubernetes)(nil)
+
+// NewKubernetes builds the CPU-driven baseline with the paper's settings.
+func NewKubernetes(cfg Config) *Kubernetes {
+	return &Kubernetes{
+		cfg:    cfg,
+		metric: MetricCPU,
+		gate:   newIntervalGate(cfg.ScaleUpInterval, cfg.ScaleDownInterval),
+		name:   "kubernetes",
+	}
+}
+
+// NewNetworkHPA builds the dedicated network scaling algorithm: identical
+// decision procedure with outgoing bandwidth substituted for CPU usage.
+func NewNetworkHPA(cfg Config) *Kubernetes {
+	return &Kubernetes{
+		cfg:    cfg,
+		metric: MetricNet,
+		gate:   newIntervalGate(cfg.ScaleUpInterval, cfg.ScaleDownInterval),
+		name:   "network",
+	}
+}
+
+// Name implements Algorithm.
+func (k *Kubernetes) Name() string { return k.name }
+
+// Decide implements Algorithm.
+func (k *Kubernetes) Decide(snap Snapshot) Plan {
+	var plan Plan
+	// One availability ledger for the whole round: services planned later
+	// must see the placements of services planned earlier, or they all
+	// pile onto the same "emptiest" node.
+	avail := availableByNode(snap)
+	for _, svc := range snap.Services {
+		k.decideService(snap, svc, avail, &plan)
+	}
+	return plan
+}
+
+func (k *Kubernetes) usage(r ReplicaStats) float64 {
+	if k.metric == MetricNet {
+		return r.Usage.NetMbps
+	}
+	return r.Usage.CPU
+}
+
+func (k *Kubernetes) requested(r ReplicaStats) float64 {
+	if k.metric == MetricNet {
+		return r.Requested.NetMbps
+	}
+	return r.Requested.CPU
+}
+
+func (k *Kubernetes) decideService(snap Snapshot, svc ServiceStats, avail map[string]resources.Vector, plan *Plan) {
+	info := svc.Info
+	cur := len(svc.Replicas)
+
+	// Fault-tolerance first: enforce the replica bounds unconditionally.
+	if cur < info.MinReplicas {
+		k.addReplicas(snap, info, info.MinReplicas-cur, avail, plan)
+		return
+	}
+	if cur > info.MaxReplicas {
+		k.removeReplicas(svc, cur-info.MaxReplicas, plan)
+		return
+	}
+	if cur == 0 {
+		return
+	}
+
+	target := info.TargetUtil
+	if target <= 0 {
+		return
+	}
+
+	var utilSum, utilAvg float64
+	for _, r := range svc.Replicas {
+		req := k.requested(r)
+		if req <= 0 {
+			continue
+		}
+		utilSum += k.usage(r) / req
+	}
+	utilAvg = utilSum / float64(cur)
+
+	// Thrash guard: skip rescaling inside the tolerance band.
+	if math.Abs(utilAvg/target-1) <= k.cfg.Tolerance {
+		return
+	}
+
+	want := int(math.Ceil(utilSum / target))
+	if want < info.MinReplicas {
+		want = info.MinReplicas
+	}
+	if want > info.MaxReplicas {
+		want = info.MaxReplicas
+	}
+
+	switch {
+	case want > cur:
+		if !k.gate.canUp(info.Name, snap.Now) {
+			return
+		}
+		if k.addReplicas(snap, info, want-cur, avail, plan) > 0 {
+			k.gate.markUp(info.Name, snap.Now)
+		}
+	case want < cur:
+		if !k.gate.canDown(info.Name, snap.Now) {
+			return
+		}
+		k.removeReplicas(svc, cur-want, plan)
+		k.gate.markDown(info.Name, snap.Now)
+	}
+}
+
+// addReplicas schedules up to n new replicas onto nodes chosen by the
+// configured placement heuristic, decrementing the shared availability
+// ledger. It returns how many were placed; placement can fall short when no
+// node fits the initial request.
+func (k *Kubernetes) addReplicas(snap Snapshot, info ServiceInfo, n int, avail map[string]resources.Vector, plan *Plan) int {
+	placed := 0
+	for i := 0; i < n; i++ {
+		nodeID := pickNode(snap.Nodes, avail, info.InitialAlloc, "", k.cfg.Placement)
+		if nodeID == "" {
+			break
+		}
+		plan.Actions = append(plan.Actions, ScaleOut{Service: info.Name, NodeID: nodeID, Alloc: info.InitialAlloc})
+		avail[nodeID] = avail[nodeID].Sub(info.InitialAlloc).ClampNonNegative()
+		placed++
+	}
+	return placed
+}
+
+// removeReplicas schedules the n newest replicas for removal (the oldest
+// replicas are the most established; removing the newest minimises churn).
+func (k *Kubernetes) removeReplicas(svc ServiceStats, n int, plan *Plan) {
+	for i := 0; i < n && i < len(svc.Replicas); i++ {
+		victim := svc.Replicas[len(svc.Replicas)-1-i]
+		plan.Actions = append(plan.Actions, ScaleIn{ContainerID: victim.ContainerID})
+	}
+}
+
+// availableByNode copies the advertised availability into a working map the
+// planner can decrement as it tentatively places replicas.
+func availableByNode(snap Snapshot) map[string]resources.Vector {
+	m := make(map[string]resources.Vector, len(snap.Nodes))
+	for _, n := range snap.Nodes {
+		m[n.ID] = n.Available
+	}
+	return m
+}
+
+// pickNode returns the ID of the best node that fits alloc under the given
+// placement heuristic, optionally excluding nodes already hosting
+// excludeService. Empty string means nothing fits.
+func pickNode(nodes []NodeStats, avail map[string]resources.Vector, alloc resources.Vector,
+	excludeService string, placement Placement) string {
+
+	best := ""
+	bestCPU := 0.0
+	for _, n := range nodes {
+		if excludeService != "" && n.HostsService(excludeService) {
+			continue
+		}
+		a := avail[n.ID]
+		if !alloc.FitsIn(a) {
+			continue
+		}
+		better := best == "" ||
+			(placement == PlacementBinPack && a.CPU < bestCPU) ||
+			(placement != PlacementBinPack && a.CPU > bestCPU)
+		if better {
+			bestCPU = a.CPU
+			best = n.ID
+		}
+	}
+	return best
+}

@@ -1,0 +1,84 @@
+package core
+
+import "fmt"
+
+// Placement selects how planners choose nodes for new replicas. The paper
+// frames scaling as a multidimensional bin-packing problem (§I); these are
+// the two classic heuristics for it.
+type Placement int
+
+// Placement strategies.
+const (
+	// PlacementSpread picks the node with the MOST available CPU — the
+	// Kubernetes-like default that spreads load and minimises co-location
+	// contention.
+	PlacementSpread Placement = iota
+	// PlacementBinPack picks the fullest node that still fits — packing
+	// replicas onto fewer machines so idle nodes can be reclaimed (the
+	// power-saving goal of §I).
+	PlacementBinPack
+)
+
+// String implements fmt.Stringer.
+func (p Placement) String() string {
+	switch p {
+	case PlacementBinPack:
+		return "binpack"
+	default:
+		return "spread"
+	}
+}
+
+// HyScaleOptions disables individual mechanisms of the hybrid algorithms
+// for ablation studies (DESIGN.md §7): each flag removes one design choice
+// so its contribution can be measured in isolation.
+type HyScaleOptions struct {
+	// DisableReclamation skips the downward vertical scaling phase
+	// (§IV-B1's resource reclamation). Replicas only ever grow.
+	DisableReclamation bool
+	// DisableVertical skips all vertical scaling; the algorithm degrades to
+	// a horizontal-only scaler with HyScale's placement rules.
+	DisableVertical bool
+	// DisableHorizontal skips the horizontal fallback; the algorithm only
+	// resizes existing replicas (an ElasticDocker-like vertical scaler).
+	DisableHorizontal bool
+}
+
+// Validate rejects contradictory combinations.
+func (o HyScaleOptions) Validate() error {
+	if o.DisableVertical && o.DisableHorizontal {
+		return fmt.Errorf("core: ablation disables both vertical and horizontal scaling")
+	}
+	return nil
+}
+
+// suffix returns the ablation tag appended to the algorithm name.
+func (o HyScaleOptions) suffix() string {
+	switch {
+	case o.DisableReclamation && !o.DisableVertical && !o.DisableHorizontal:
+		return "-noreclaim"
+	case o.DisableVertical:
+		return "-horizontal-only"
+	case o.DisableHorizontal:
+		return "-vertical-only"
+	default:
+		return ""
+	}
+}
+
+// NewHyScaleVariant builds an ablated hybrid algorithm. memAware selects
+// HYSCALE_CPU+Mem vs HYSCALE_CPU semantics.
+func NewHyScaleVariant(cfg Config, memAware bool, opts HyScaleOptions) (*HyScale, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	var h *HyScale
+	if memAware {
+		h = NewHyScaleCPUMem(cfg)
+	} else {
+		h = NewHyScaleCPU(cfg)
+	}
+	h.opts = opts
+	h.name += opts.suffix()
+	return h, nil
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"time"
+)
+
+// Predictive wraps an Algorithm with short-horizon demand extrapolation —
+// the "machine learning aspect" the paper lists as future work (§VII), in
+// its simplest defensible form: per-replica usage is linearly extrapolated
+// one horizon ahead from the last two snapshots, so the wrapped algorithm
+// provisions for where demand is *heading* rather than where it *was*.
+// Downward trends are followed at half strength to avoid amplifying noise
+// into scale-down thrash.
+type Predictive struct {
+	inner Algorithm
+	// Horizon is how far ahead usage is extrapolated; defaults to the
+	// monitor period when zero (set it to your decision interval).
+	Horizon time.Duration
+
+	prev     map[string]ReplicaStats
+	prevTime time.Duration
+}
+
+var _ Algorithm = (*Predictive)(nil)
+
+// NewPredictive wraps inner with linear usage extrapolation over horizon.
+func NewPredictive(inner Algorithm, horizon time.Duration) *Predictive {
+	return &Predictive{inner: inner, Horizon: horizon, prev: make(map[string]ReplicaStats)}
+}
+
+// Name implements Algorithm.
+func (p *Predictive) Name() string { return p.inner.Name() + "-predictive" }
+
+// Decide implements Algorithm: it rewrites every replica's usage to the
+// extrapolated value, then delegates.
+func (p *Predictive) Decide(snap Snapshot) Plan {
+	// Capture the RAW observations first — extrapolating from previous
+	// extrapolations would compound the trend.
+	raw := make(map[string]ReplicaStats)
+	for _, svc := range snap.Services {
+		for _, r := range svc.Replicas {
+			raw[r.ContainerID] = r
+		}
+	}
+
+	dt := snap.Now - p.prevTime
+	if dt > 0 && len(p.prev) > 0 && p.Horizon > 0 {
+		scale := float64(p.Horizon) / float64(dt)
+		for si := range snap.Services {
+			svc := &snap.Services[si]
+			for ri := range svc.Replicas {
+				r := &svc.Replicas[ri]
+				old, ok := p.prev[r.ContainerID]
+				if !ok {
+					continue
+				}
+				r.Usage.CPU = extrapolate(old.Usage.CPU, r.Usage.CPU, scale)
+				r.Usage.MemMB = extrapolate(old.Usage.MemMB, r.Usage.MemMB, scale)
+				r.Usage.NetMbps = extrapolate(old.Usage.NetMbps, r.Usage.NetMbps, scale)
+			}
+		}
+	}
+
+	p.prev = raw
+	p.prevTime = snap.Now
+
+	return p.inner.Decide(snap)
+}
+
+// extrapolate projects a linear trend `scale` intervals ahead, never below
+// zero. Downward trends are followed at half strength.
+func extrapolate(old, cur, scale float64) float64 {
+	delta := cur - old
+	if delta < 0 {
+		delta /= 2
+	}
+	v := cur + delta*scale
+	if v < 0 {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,117 @@
+// Package cost implements the cost-based accounting the paper lists as
+// future work (§VII): data centres pay for powered machines and for SLA
+// violation penalties (§I), so an autoscaler's quality is ultimately a cost
+// trade-off — machines kept busy versus requests answered late or lost.
+package cost
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config prices a run.
+type Config struct {
+	// MachineCostPerHour is the operating cost of one powered machine
+	// (energy + amortised hardware).
+	MachineCostPerHour float64
+	// SLATargetLatency is the per-request response-time target from the
+	// tenant's SLA; completions above it are violations.
+	SLATargetLatency time.Duration
+	// ViolationPenalty is the SLA penalty per violated or failed request.
+	ViolationPenalty float64
+}
+
+// DefaultConfig returns plausible cloud prices: $0.20 per machine-hour, a
+// one-second SLA, and a $0.001 penalty per violation.
+func DefaultConfig() Config {
+	return Config{
+		MachineCostPerHour: 0.20,
+		SLATargetLatency:   time.Second,
+		ViolationPenalty:   0.001,
+	}
+}
+
+// Tracker accumulates cost-relevant observations over one run. Not safe for
+// concurrent use (the simulation is single-threaded).
+type Tracker struct {
+	cfg Config
+
+	machineSeconds float64
+	completions    uint64
+	violations     uint64
+	failures       uint64
+}
+
+// NewTracker returns a tracker priced by cfg.
+func NewTracker(cfg Config) *Tracker {
+	return &Tracker{cfg: cfg}
+}
+
+// ObserveMachines records that `active` machines were powered for dt. Call
+// once per accounting interval with the number of nodes hosting at least
+// one container — idle machines are assumed reclaimable (§I's
+// power-conservation argument).
+func (t *Tracker) ObserveMachines(active int, dt time.Duration) {
+	if active < 0 || dt <= 0 {
+		return
+	}
+	t.machineSeconds += float64(active) * dt.Seconds()
+}
+
+// ObserveCompletion records a finished request and checks it against the
+// SLA target.
+func (t *Tracker) ObserveCompletion(latency time.Duration) {
+	t.completions++
+	if t.cfg.SLATargetLatency > 0 && latency > t.cfg.SLATargetLatency {
+		t.violations++
+	}
+}
+
+// ObserveFailure records a failed request; failures always violate the SLA.
+func (t *Tracker) ObserveFailure() {
+	t.failures++
+}
+
+// Report is the priced outcome of a run.
+type Report struct {
+	// MachineHours is the integral of powered machines over time.
+	MachineHours float64
+	// Completions, SLAViolations and Failures count requests.
+	Completions   uint64
+	SLAViolations uint64
+	Failures      uint64
+	// MachineCost, PenaltyCost and TotalCost are in the configured currency.
+	MachineCost float64
+	PenaltyCost float64
+	TotalCost   float64
+}
+
+// ViolationPercent returns the share of all requests that violated the SLA
+// (late completions plus failures).
+func (r Report) ViolationPercent() float64 {
+	total := r.Completions + r.Failures
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(r.SLAViolations+r.Failures) / float64(total)
+}
+
+// String implements fmt.Stringer.
+func (r Report) String() string {
+	return fmt.Sprintf("machine-hours=%.2f sla-violations=%.2f%% cost=$%.4f (machines $%.4f + penalties $%.4f)",
+		r.MachineHours, r.ViolationPercent(), r.TotalCost, r.MachineCost, r.PenaltyCost)
+}
+
+// Report prices the observations so far.
+func (t *Tracker) Report() Report {
+	r := Report{
+		MachineHours:  t.machineSeconds / 3600,
+		Completions:   t.completions,
+		SLAViolations: t.violations,
+		Failures:      t.failures,
+	}
+	r.MachineCost = r.MachineHours * t.cfg.MachineCostPerHour
+	r.PenaltyCost = float64(t.violations+t.failures) * t.cfg.ViolationPenalty
+	r.TotalCost = r.MachineCost + r.PenaltyCost
+	return r
+}

@@ -1,0 +1,82 @@
+package cost
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMachineAccounting(t *testing.T) {
+	tr := NewTracker(Config{MachineCostPerHour: 0.5})
+	tr.ObserveMachines(10, 30*time.Minute)
+	tr.ObserveMachines(20, 30*time.Minute)
+	r := tr.Report()
+	if math.Abs(r.MachineHours-15) > 1e-9 {
+		t.Errorf("MachineHours = %v, want 15", r.MachineHours)
+	}
+	if math.Abs(r.MachineCost-7.5) > 1e-9 {
+		t.Errorf("MachineCost = %v, want 7.5", r.MachineCost)
+	}
+}
+
+func TestMachineAccountingIgnoresBadInput(t *testing.T) {
+	tr := NewTracker(DefaultConfig())
+	tr.ObserveMachines(-1, time.Hour)
+	tr.ObserveMachines(5, -time.Hour)
+	if r := tr.Report(); r.MachineHours != 0 {
+		t.Errorf("MachineHours = %v, want 0", r.MachineHours)
+	}
+}
+
+func TestSLAViolations(t *testing.T) {
+	tr := NewTracker(Config{SLATargetLatency: time.Second, ViolationPenalty: 0.01})
+	tr.ObserveCompletion(500 * time.Millisecond) // ok
+	tr.ObserveCompletion(2 * time.Second)        // late
+	tr.ObserveFailure()                          // failed
+
+	r := tr.Report()
+	if r.Completions != 2 || r.SLAViolations != 1 || r.Failures != 1 {
+		t.Fatalf("report = %+v", r)
+	}
+	if math.Abs(r.PenaltyCost-0.02) > 1e-12 {
+		t.Errorf("PenaltyCost = %v, want 0.02", r.PenaltyCost)
+	}
+	want := 100.0 * 2 / 3
+	if math.Abs(r.ViolationPercent()-want) > 1e-9 {
+		t.Errorf("ViolationPercent = %v, want %v", r.ViolationPercent(), want)
+	}
+}
+
+func TestZeroSLADisablesLatencyCheck(t *testing.T) {
+	tr := NewTracker(Config{})
+	tr.ObserveCompletion(time.Hour)
+	if tr.Report().SLAViolations != 0 {
+		t.Error("violation counted with zero SLA target")
+	}
+}
+
+func TestTotalCost(t *testing.T) {
+	tr := NewTracker(Config{MachineCostPerHour: 1, SLATargetLatency: time.Second, ViolationPenalty: 0.5})
+	tr.ObserveMachines(2, time.Hour)
+	tr.ObserveCompletion(2 * time.Second)
+	r := tr.Report()
+	if math.Abs(r.TotalCost-2.5) > 1e-9 {
+		t.Errorf("TotalCost = %v, want 2.5", r.TotalCost)
+	}
+}
+
+func TestEmptyReport(t *testing.T) {
+	r := NewTracker(DefaultConfig()).Report()
+	if r.ViolationPercent() != 0 || r.TotalCost != 0 {
+		t.Error("empty tracker should report zeros")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	tr := NewTracker(DefaultConfig())
+	tr.ObserveMachines(1, time.Hour)
+	if s := tr.Report().String(); !strings.Contains(s, "machine-hours=1.00") {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,350 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"hyscale/internal/lb"
+	"hyscale/internal/platform"
+	"hyscale/internal/resources"
+	"hyscale/internal/workload"
+)
+
+// The §III microbenchmarks give a microservice an EQUAL TOTAL amount of a
+// resource in every scenario and compare one big replica (vertical) against
+// many small replicas spread over machines (horizontal), with a stress
+// contender eating the rest of each machine — isolating the physical
+// trade-offs the autoscaling algorithms later face.
+
+// microRequests matches the paper's fixed client load of 640 requests.
+const microRequests = 640
+
+// Fig2Result holds the CPU scaling comparison (§III-A, Figure 2).
+type Fig2Result struct {
+	// BaselineMean is the solo service on a full node (no contender).
+	BaselineMean time.Duration
+	// VerticalMean is one replica holding half the node next to a stress
+	// contender — the vertically-scaled scenario.
+	VerticalMean time.Duration
+	// Replicas and HorizontalMean are parallel: HorizontalMean[i] is the
+	// mean response time with Replicas[i] replicas over Replicas[i]
+	// machines, equal total CPU.
+	Replicas       []int
+	HorizontalMean []time.Duration
+}
+
+// ContentionOverheadPercent is the §III-A headline: the response-time
+// increase of the vertical scenario over the uncontended baseline (the
+// paper measured 17 %).
+func (r *Fig2Result) ContentionOverheadPercent() float64 {
+	if r.BaselineMean <= 0 {
+		return 0
+	}
+	return 100 * (float64(r.VerticalMean)/float64(r.BaselineMean) - 1)
+}
+
+// Table renders Figure 2.
+func (r *Fig2Result) Table() *Table {
+	t := &Table{
+		Title:   "Figure 2: response times of horizontal scaling for the CPU tests (equal total CPU)",
+		Columns: []string{"scenario", "replicas", "mean response"},
+	}
+	t.AddRow("baseline (solo, full node)", "1", fmtDur(r.BaselineMean))
+	t.AddRow("vertical (half node + stress)", "1", fmtDur(r.VerticalMean))
+	for i, n := range r.Replicas {
+		t.AddRow("horizontal + stress", fmt.Sprintf("%d", n), fmtDur(r.HorizontalMean[i]))
+	}
+	t.AddRow("contention overhead", "-", fmt.Sprintf("%.1f%%", r.ContentionOverheadPercent()))
+	return t
+}
+
+func fmtDur(d time.Duration) string { return d.Round(time.Millisecond).String() }
+
+// cpuMicroSpec is the CPU-bound emulated microservice of §III-A.
+func cpuMicroSpec() workload.ServiceSpec {
+	return workload.ServiceSpec{
+		Name: "cpu-micro", Kind: workload.KindCPUBound,
+		CPUPerRequest:         0.25,
+		CPUOverheadPerRequest: 0.02,
+		BackgroundCPU:         0.015,
+		MemPerRequest:         2,
+		BaselineMemMB:         300,
+		InitialReplicaCPU:     2, InitialReplicaMemMB: 1024,
+		MinReplicas: 1, MaxReplicas: 16,
+		Timeout: 10 * time.Minute,
+	}
+}
+
+// RunFig2 reproduces Figure 2: 640 requests against a CPU-bound service
+// with equal total CPU (half of one node's cores) split across 1..16
+// replicas on as many machines, each machine shared with a CPU stress
+// container holding the remaining shares.
+func RunFig2(opts Options) (*Fig2Result, error) {
+	opts = opts.scaled()
+	res := &Fig2Result{Replicas: []int{1, 2, 4, 8, 16}}
+
+	// Baseline: whole node to itself.
+	base, err := runCPUMicro(opts, 1, 4, 0)
+	if err != nil {
+		return nil, fmt.Errorf("fig2 baseline: %w", err)
+	}
+	res.BaselineMean = base
+
+	// Vertical: half the node, stress takes the other half.
+	vert, err := runCPUMicro(opts, 1, 2, 2)
+	if err != nil {
+		return nil, fmt.Errorf("fig2 vertical: %w", err)
+	}
+	res.VerticalMean = vert
+
+	// Horizontal: the same 2 cores split over R machines; on each machine
+	// the stress container holds the remaining shares so the service's
+	// total CPU access time stays constant (the paper's share arithmetic).
+	for _, r := range res.Replicas {
+		perReplica := 2.0 / float64(r)
+		m, err := runCPUMicro(opts, r, perReplica, 4-perReplica)
+		if err != nil {
+			return nil, fmt.Errorf("fig2 horizontal %d: %w", r, err)
+		}
+		res.HorizontalMean = append(res.HorizontalMean, m)
+	}
+	return res, nil
+}
+
+// runCPUMicro runs one Fig-2 scenario and returns the mean response time.
+func runCPUMicro(opts Options, replicas int, cpuEach, stressCPU float64) (time.Duration, error) {
+	cfg := platform.DefaultConfig(opts.Seed)
+	cfg.Nodes = replicas
+	cfg.MonitorPeriod = 0 // no autoscaling: fixed allocations
+	cfg.BaseLatency = 0   // Section III measures microservice execution time directly
+	cfg.LBPolicy = lb.LeastOutstanding
+	w, err := platform.New(cfg, nil)
+	if err != nil {
+		return 0, err
+	}
+	spec := cpuMicroSpec()
+	spec.InitialReplicaCPU = cpuEach
+	if err := w.AddService(spec, 0, nil); err != nil {
+		return 0, err
+	}
+	// AddService deployed replica 0 on node-0; pin the rest one per node.
+	for i := 1; i < replicas; i++ {
+		nodeID := fmt.Sprintf("node-%d", i)
+		if err := w.DeployReplica(spec.Name, nodeID, resources.Vector{CPU: cpuEach, MemMB: spec.InitialReplicaMemMB}); err != nil {
+			return 0, err
+		}
+	}
+	if stressCPU > 0 {
+		for i := 0; i < replicas; i++ {
+			nodeID := fmt.Sprintf("node-%d", i)
+			if err := w.AddStressContainer(nodeID, resources.Vector{CPU: stressCPU, MemMB: 64}, 4, 0); err != nil {
+				return 0, err
+			}
+		}
+	}
+
+	// 640 requests at ~85 % of the vertical scenario's service capacity.
+	window := 120 * time.Second
+	if err := w.InjectRequests(2*time.Second, window, spec.Name, microRequests); err != nil {
+		return 0, err
+	}
+	if err := w.RunUntilDrained(window+2*time.Second, 15*time.Minute); err != nil {
+		return 0, err
+	}
+	sum := w.Summary()
+	if sum.Completed == 0 {
+		return 0, fmt.Errorf("no requests completed")
+	}
+	return sum.MeanLatency, nil
+}
+
+// MemResult holds the §III-B memory scaling comparison.
+type MemResult struct {
+	// Scenarios are labels like "1x512MB"; Mean and SwapShare are parallel.
+	Scenarios []string
+	Mean      []time.Duration
+	// FailedPercent is the share of requests that timed out (deep swap).
+	FailedPercent []float64
+}
+
+// Table renders the §III-B result rows.
+func (r *MemResult) Table() *Table {
+	t := &Table{
+		Title:   "§III-B: memory scaling, equal total memory (vertical vs horizontal)",
+		Columns: []string{"scenario", "mean response", "failed %"},
+	}
+	for i, s := range r.Scenarios {
+		t.AddRow(s, fmtDur(r.Mean[i]), fmt.Sprintf("%.2f", r.FailedPercent[i]))
+	}
+	return t
+}
+
+// RunMemScaling reproduces the §III-B experiment: a memory-bound service
+// with equal TOTAL memory in every scenario (one 512 MB container ≡ two
+// 256 MB containers, and so on). Horizontal replicas each pay the
+// application's baseline memory again, so they hit the swap cliff earlier —
+// the paper's key memory observation.
+func RunMemScaling(opts Options) (*MemResult, error) {
+	opts = opts.scaled()
+	res := &MemResult{}
+	type scenario struct {
+		replicas int
+		memEach  float64
+	}
+	for _, sc := range []scenario{{1, 512}, {2, 256}, {4, 128}} {
+		mean, failed, err := runMemMicro(opts, sc.replicas, sc.memEach)
+		if err != nil {
+			return nil, fmt.Errorf("mem %dx%.0f: %w", sc.replicas, sc.memEach, err)
+		}
+		res.Scenarios = append(res.Scenarios, fmt.Sprintf("%dx%.0fMB", sc.replicas, sc.memEach))
+		res.Mean = append(res.Mean, mean)
+		res.FailedPercent = append(res.FailedPercent, failed)
+	}
+	return res, nil
+}
+
+func runMemMicro(opts Options, replicas int, memEach float64) (time.Duration, float64, error) {
+	cfg := platform.DefaultConfig(opts.Seed)
+	cfg.Nodes = replicas
+	cfg.MonitorPeriod = 0
+	cfg.BaseLatency = 0 // Section III measures microservice execution time directly
+	w, err := platform.New(cfg, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	spec := workload.ServiceSpec{
+		Name: "mem-micro", Kind: workload.KindMemoryBound,
+		CPUPerRequest:         0.05,
+		CPUOverheadPerRequest: 0.01,
+		MemPerRequest:         24,
+		BaselineMemMB:         110,
+		InitialReplicaCPU:     2, InitialReplicaMemMB: memEach,
+		MinReplicas: 1, MaxReplicas: 8,
+		Timeout: 60 * time.Second,
+	}
+	if err := w.AddService(spec, 0, nil); err != nil {
+		return 0, 0, err
+	}
+	for i := 1; i < replicas; i++ {
+		nodeID := fmt.Sprintf("node-%d", i)
+		if err := w.DeployReplica(spec.Name, nodeID, resources.Vector{CPU: 2, MemMB: memEach}); err != nil {
+			return 0, 0, err
+		}
+	}
+	window := 60 * time.Second
+	if err := w.InjectRequests(2*time.Second, window, spec.Name, microRequests); err != nil {
+		return 0, 0, err
+	}
+	if err := w.RunUntilDrained(window+2*time.Second, 15*time.Minute); err != nil {
+		return 0, 0, err
+	}
+	sum := w.Summary()
+	if sum.Completed == 0 {
+		return 0, sum.FailedPercent(), nil
+	}
+	return sum.MeanLatency, sum.FailedPercent(), nil
+}
+
+// Fig3Result holds the network scaling comparison (§III-C, Figure 3).
+type Fig3Result struct {
+	// VerticalMean is the single-machine scenario with the full 100 Mbps tc
+	// cap (re-splitting the cap on one machine changes nothing, per §III-C).
+	VerticalMean time.Duration
+	// Replicas and HorizontalMean are parallel: a total of 100 Mbps split
+	// across R machines, each shared with a network+CPU stress hog.
+	Replicas       []int
+	HorizontalMean []time.Duration
+}
+
+// Table renders Figure 3.
+func (r *Fig3Result) Table() *Table {
+	t := &Table{
+		Title:   "Figure 3: response times of horizontal scaling for the network tests (100 Mbps total)",
+		Columns: []string{"scenario", "replicas", "mean response"},
+	}
+	t.AddRow("vertical (single machine)", "1", fmtDur(r.VerticalMean))
+	for i, n := range r.Replicas {
+		t.AddRow("horizontal + stress", fmt.Sprintf("%d", n), fmtDur(r.HorizontalMean[i]))
+	}
+	return t
+}
+
+// RunFig3 reproduces Figure 3: an iperf-like service with a 100 Mbps total
+// egress allocation split across 1..16 machines, each machine also hosting
+// a stress container that floods the NIC and hogs CPU. Horizontal scaling
+// relieves per-node tx-queue contention until the per-replica tc slice
+// becomes the bottleneck (~8 replicas).
+func RunFig3(opts Options) (*Fig3Result, error) {
+	opts = opts.scaled()
+	res := &Fig3Result{Replicas: []int{1, 2, 4, 8, 16}}
+
+	vert, err := runNetMicro(opts, 1, 100)
+	if err != nil {
+		return nil, fmt.Errorf("fig3 vertical: %w", err)
+	}
+	res.VerticalMean = vert
+
+	for _, r := range res.Replicas {
+		m, err := runNetMicro(opts, r, 100/float64(r))
+		if err != nil {
+			return nil, fmt.Errorf("fig3 horizontal %d: %w", r, err)
+		}
+		res.HorizontalMean = append(res.HorizontalMean, m)
+	}
+	return res, nil
+}
+
+func runNetMicro(opts Options, replicas int, capEach float64) (time.Duration, error) {
+	cfg := platform.DefaultConfig(opts.Seed)
+	cfg.Nodes = replicas
+	cfg.MonitorPeriod = 0
+	cfg.BaseLatency = 0          // Section III measures microservice execution time directly
+	cfg.DistributionOverhead = 0 // the paper's iperf test measures pure transfer
+	w, err := platform.New(cfg, nil)
+	if err != nil {
+		return 0, err
+	}
+	spec := workload.ServiceSpec{
+		Name: "net-micro", Kind: workload.KindNetworkBound,
+		CPUPerRequest:         0.005,
+		CPUOverheadPerRequest: 0.005,
+		MemPerRequest:         1,
+		NetPerRequest:         10, // megabits per request
+		BaselineMemMB:         80,
+		InitialReplicaCPU:     0.5, InitialReplicaMemMB: 256,
+		InitialReplicaNetMbps: capEach,
+		MinReplicas:           1, MaxReplicas: 16,
+		Timeout: 10 * time.Minute,
+	}
+	if err := w.AddService(spec, 0, nil); err != nil {
+		return 0, err
+	}
+	for i := 1; i < replicas; i++ {
+		nodeID := fmt.Sprintf("node-%d", i)
+		alloc := resources.Vector{CPU: 0.5, MemMB: 256, NetMbps: capEach}
+		if err := w.DeployReplica(spec.Name, nodeID, alloc); err != nil {
+			return 0, err
+		}
+	}
+	// One flooding stress hog per machine (CPU + 32 egress flows), like the
+	// paper's custom stress container.
+	for i := 0; i < replicas; i++ {
+		nodeID := fmt.Sprintf("node-%d", i)
+		if err := w.AddStressContainer(nodeID, resources.Vector{CPU: 2, MemMB: 64}, 2, 32); err != nil {
+			return 0, err
+		}
+	}
+
+	window := 160 * time.Second
+	if err := w.InjectRequests(2*time.Second, window, spec.Name, microRequests); err != nil {
+		return 0, err
+	}
+	if err := w.RunUntilDrained(window+2*time.Second, 20*time.Minute); err != nil {
+		return 0, err
+	}
+	sum := w.Summary()
+	if sum.Completed == 0 {
+		return 0, fmt.Errorf("no requests completed")
+	}
+	return sum.MeanLatency, nil
+}

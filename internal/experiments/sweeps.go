@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"hyscale/internal/cluster"
+	"hyscale/internal/metrics"
+	"hyscale/internal/platform"
+	"hyscale/internal/resources"
+	"hyscale/internal/workload"
+)
+
+// Parameter sweeps: §III-C's robustness claim ("From varying these
+// parameters, we found the results followed the same general trends"), the
+// target-utilization sensitivity of the algorithms, and heterogeneous
+// clusters (§I notes most clouds are heterogeneous).
+
+// Fig3SweepResult verifies the Fig. 3 trend across total-bandwidth and
+// request-size settings: horizontal network scaling keeps helping, tapering
+// around 8 replicas, in every configuration.
+type Fig3SweepResult struct {
+	// Configs labels each sweep point ("100Mbps/10Mb" etc.).
+	Configs []string
+	// GainAt8 is the 1→8 replica speedup per config.
+	GainAt8 []float64
+	// TaperRatio is the 8→16 replica speedup per config (≈1 means taper).
+	TaperRatio []float64
+}
+
+// Table renders the sweep.
+func (r *Fig3SweepResult) Table() *Table {
+	t := &Table{
+		Title:   "§III-C sweep: network scaling trend across bandwidth and request size",
+		Columns: []string{"config", "gain 1->8 replicas", "ratio 8->16 (taper)"},
+	}
+	for i, c := range r.Configs {
+		t.AddRow(c, fmt.Sprintf("%.2fx", r.GainAt8[i]), fmt.Sprintf("%.2fx", r.TaperRatio[i]))
+	}
+	return t
+}
+
+// RunFig3Sweep runs the Fig. 3 scenario grid over {50,100,200} Mbps total
+// bandwidth and {5,10,20} Mb payloads.
+func RunFig3Sweep(opts Options) (*Fig3SweepResult, error) {
+	opts = opts.scaled()
+	res := &Fig3SweepResult{}
+	for _, totalMbps := range []float64{50, 100, 200} {
+		for _, payloadMb := range []float64{5, 10, 20} {
+			means := make(map[int]time.Duration)
+			for _, replicas := range []int{1, 8, 16} {
+				m, err := runNetMicroParams(opts, replicas, totalMbps/float64(replicas), payloadMb, totalMbps)
+				if err != nil {
+					return nil, fmt.Errorf("fig3 sweep %v/%v x%d: %w", totalMbps, payloadMb, replicas, err)
+				}
+				means[replicas] = m
+			}
+			res.Configs = append(res.Configs, fmt.Sprintf("%.0fMbps/%.0fMb", totalMbps, payloadMb))
+			res.GainAt8 = append(res.GainAt8, float64(means[1])/float64(means[8]))
+			res.TaperRatio = append(res.TaperRatio, float64(means[8])/float64(means[16]))
+		}
+	}
+	return res, nil
+}
+
+// runNetMicroParams is the §III-C scenario with configurable payload and
+// bandwidth; the injection window keeps offered load at ~80 % of the total
+// bandwidth like the base experiment.
+func runNetMicroParams(opts Options, replicas int, capEach, payloadMb, totalMbps float64) (time.Duration, error) {
+	cfg := platform.DefaultConfig(opts.Seed)
+	cfg.Nodes = replicas
+	cfg.MonitorPeriod = 0
+	cfg.BaseLatency = 0
+	cfg.DistributionOverhead = 0
+	w, err := platform.New(cfg, nil)
+	if err != nil {
+		return 0, err
+	}
+	spec := workload.ServiceSpec{
+		Name: "net-sweep", Kind: workload.KindNetworkBound,
+		CPUPerRequest: 0.005, CPUOverheadPerRequest: 0.005,
+		MemPerRequest: 1, NetPerRequest: payloadMb, BaselineMemMB: 80,
+		InitialReplicaCPU: 0.5, InitialReplicaMemMB: 256, InitialReplicaNetMbps: capEach,
+		MinReplicas: 1, MaxReplicas: 16, Timeout: 10 * time.Minute,
+	}
+	if err := w.AddService(spec, 0, nil); err != nil {
+		return 0, err
+	}
+	for i := 1; i < replicas; i++ {
+		alloc := resources.Vector{CPU: 0.5, MemMB: 256, NetMbps: capEach}
+		if err := w.DeployReplica(spec.Name, fmt.Sprintf("node-%d", i), alloc); err != nil {
+			return 0, err
+		}
+	}
+	for i := 0; i < replicas; i++ {
+		if err := w.AddStressContainer(fmt.Sprintf("node-%d", i), resources.Vector{CPU: 2, MemMB: 64}, 2, 32); err != nil {
+			return 0, err
+		}
+	}
+	// Offered load ≈ 40 % of the total cap, matching the base Fig. 3 run.
+	window := time.Duration(float64(microRequests) * payloadMb / (totalMbps * 0.4) * float64(time.Second))
+	if err := w.InjectRequests(2*time.Second, window, spec.Name, microRequests); err != nil {
+		return 0, err
+	}
+	if err := w.RunUntilDrained(window+2*time.Second, 30*time.Minute); err != nil {
+		return 0, err
+	}
+	sum := w.Summary()
+	if sum.Completed == 0 {
+		return 0, fmt.Errorf("no requests completed")
+	}
+	return sum.MeanLatency, nil
+}
+
+// TargetUtilResult sweeps the utilization target — the one knob every
+// algorithm shares — showing the latency/efficiency trade-off.
+type TargetUtilResult struct {
+	Targets []float64
+	// PerAlgo maps algorithm -> mean latency per target.
+	PerAlgo map[string][]metrics.Summary
+	// MachineHours maps algorithm -> machine-hours per target.
+	MachineHours map[string][]float64
+	order        []string
+}
+
+// Table renders the sweep.
+func (r *TargetUtilResult) Table() *Table {
+	t := &Table{
+		Title:   "Sensitivity: utilization target sweep (CPU-bound, low-burst)",
+		Columns: []string{"algorithm", "target", "mean response", "failed %", "machine-hours"},
+	}
+	for _, algo := range r.order {
+		for i, target := range r.Targets {
+			s := r.PerAlgo[algo][i]
+			t.AddRow(
+				algo,
+				fmt.Sprintf("%.0f%%", target*100),
+				fmtDur(s.MeanLatency),
+				fmt.Sprintf("%.2f", s.FailedPercent()),
+				fmt.Sprintf("%.2f", r.MachineHours[algo][i]),
+			)
+		}
+	}
+	return t
+}
+
+// RunTargetUtilSweep runs kubernetes and hybridmem at 30/50/70 % targets.
+func RunTargetUtilSweep(opts Options) (*TargetUtilResult, error) {
+	opts = opts.scaled()
+	res := &TargetUtilResult{
+		Targets:      []float64{0.3, 0.5, 0.7},
+		PerAlgo:      make(map[string][]metrics.Summary),
+		MachineHours: make(map[string][]float64),
+		order:        []string{"kubernetes", "hybridmem"},
+	}
+	for _, algoName := range res.order {
+		for _, target := range res.Targets {
+			services := makeServices(workload.KindCPUBound, 15, LowBurst, opts.Seed)
+			for i := range services {
+				services[i].target = target
+			}
+			r, err := runMacroSpecs("sweep", "sweep", services, []runSpec{{algorithm: algoName}}, opts)
+			if err != nil {
+				return nil, err
+			}
+			o := r.Outcomes[0]
+			res.PerAlgo[algoName] = append(res.PerAlgo[algoName], o.Summary)
+			res.MachineHours[algoName] = append(res.MachineHours[algoName], o.Cost.MachineHours)
+		}
+	}
+	return res, nil
+}
+
+// RunHeterogeneous exercises the algorithms on a heterogeneous cluster —
+// half the machines twice as large — verifying placement respects per-node
+// capacities (§I: "most cloud clusters are heterogeneous").
+func RunHeterogeneous(opts Options) (*MacroResult, error) {
+	opts = opts.scaled()
+	services := makeServices(workload.KindCPUBound, 15, HighBurst, opts.Seed)
+
+	hetero := func(w *platform.World) error {
+		// Replace the last 9 uniform nodes with big 8-core/16GiB machines.
+		for i := 10; i < 19; i++ {
+			id := fmt.Sprintf("node-%d", i)
+			if _, err := w.Cluster().RemoveNode(id); err != nil {
+				return err
+			}
+			w.Monitor().DetachNode(id)
+			big := cluster.DefaultNodeConfig(fmt.Sprintf("big-%d", i))
+			big.Capacity = resources.Vector{CPU: 8, MemMB: 16384, NetMbps: 2000}
+			big.Net.CapacityMbps = 2000
+			if err := w.Cluster().AddNode(big); err != nil {
+				return err
+			}
+			w.Monitor().AttachNode(w.Cluster().Node(big.ID))
+		}
+		return nil
+	}
+	return runMacroSpecs(
+		"Heterogeneous cluster: 10 small + 9 double-size nodes (CPU-bound, high-burst)",
+		"heterogeneous",
+		services,
+		[]runSpec{
+			{algorithm: "kubernetes", setup: hetero},
+			{algorithm: "hybrid", setup: hetero},
+			{algorithm: "hybridmem", setup: hetero},
+		},
+		opts,
+	)
+}

@@ -1,0 +1,382 @@
+// Package httpapi exposes the autoscaler platform over HTTP: JSON endpoints
+// for services, replicas, nodes, metrics and costs, a Prometheus-style
+// text endpoint, and a manual scaling hook (the "command-line interface"
+// role of §V-C, as a control plane a real deployment would ship with).
+//
+// The platform itself is single-threaded; callers that serve while a
+// simulation advances must interpose a lock via the Locker option (see
+// cmd/hyscale-server).
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"hyscale/internal/container"
+	"hyscale/internal/core"
+	"hyscale/internal/platform"
+	"hyscale/internal/resources"
+)
+
+// Server serves the control-plane API for one World.
+type Server struct {
+	world *platform.World
+	mu    sync.Locker
+	mux   *http.ServeMux
+}
+
+// noopLock is used when the caller does not need synchronisation (e.g. the
+// simulation is not advancing while serving).
+type noopLock struct{}
+
+func (noopLock) Lock()   {}
+func (noopLock) Unlock() {}
+
+// Option customises the server.
+type Option func(*Server)
+
+// WithLocker makes every request handler hold l, so the API can be served
+// concurrently with a stepping simulation.
+func WithLocker(l sync.Locker) Option {
+	return func(s *Server) { s.mu = l }
+}
+
+// New builds the API server for w.
+func New(w *platform.World, opts ...Option) *Server {
+	s := &Server{world: w, mu: noopLock{}, mux: http.NewServeMux()}
+	for _, o := range opts {
+		o(s)
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/summary", s.handleSummary)
+	s.mux.HandleFunc("GET /v1/cost", s.handleCost)
+	s.mux.HandleFunc("GET /v1/actions", s.handleActions)
+	s.mux.HandleFunc("GET /v1/services", s.handleServices)
+	s.mux.HandleFunc("GET /v1/services/{name}", s.handleService)
+	s.mux.HandleFunc("POST /v1/services/{name}/scale", s.handleScale)
+	s.mux.HandleFunc("GET /v1/nodes", s.handleNodes)
+	s.mux.HandleFunc("GET /v1/latency", s.handleLatency)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	now := s.world.Engine().Now()
+	s.mu.Unlock()
+	s.writeJSON(w, map[string]any{"status": "ok", "simTime": now.String()})
+}
+
+// SummaryDTO is the JSON form of the aggregate report.
+type SummaryDTO struct {
+	Requests           uint64  `json:"requests"`
+	Completed          uint64  `json:"completed"`
+	FailedPercent      float64 `json:"failedPercent"`
+	RemovalFailures    uint64  `json:"removalFailures"`
+	ConnectionFailures uint64  `json:"connectionFailures"`
+	MeanLatencyMs      float64 `json:"meanLatencyMs"`
+	P95LatencyMs       float64 `json:"p95LatencyMs"`
+	P99LatencyMs       float64 `json:"p99LatencyMs"`
+}
+
+func (s *Server) handleSummary(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	sum := s.world.Summary()
+	s.mu.Unlock()
+	s.writeJSON(w, SummaryDTO{
+		Requests:           sum.Requests,
+		Completed:          sum.Completed,
+		FailedPercent:      sum.FailedPercent(),
+		RemovalFailures:    sum.RemovalFailures,
+		ConnectionFailures: sum.ConnectionFailures,
+		MeanLatencyMs:      float64(sum.MeanLatency) / float64(time.Millisecond),
+		P95LatencyMs:       float64(sum.P95Latency) / float64(time.Millisecond),
+		P99LatencyMs:       float64(sum.P99Latency) / float64(time.Millisecond),
+	})
+}
+
+func (s *Server) handleCost(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	r := s.world.CostReport()
+	s.mu.Unlock()
+	s.writeJSON(w, map[string]any{
+		"machineHours":     r.MachineHours,
+		"slaViolations":    r.SLAViolations,
+		"failures":         r.Failures,
+		"violationPercent": r.ViolationPercent(),
+		"machineCost":      r.MachineCost,
+		"penaltyCost":      r.PenaltyCost,
+		"totalCost":        r.TotalCost,
+	})
+}
+
+func (s *Server) handleActions(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	c := s.world.Monitor().Counts()
+	s.mu.Unlock()
+	s.writeJSON(w, map[string]any{
+		"vertical":          c.Vertical,
+		"scaleOuts":         c.ScaleOuts,
+		"scaleIns":          c.ScaleIns,
+		"placementFailures": c.PlacementFailures,
+	})
+}
+
+// ReplicaDTO is the JSON form of one replica.
+type ReplicaDTO struct {
+	ID       string  `json:"id"`
+	Node     string  `json:"node"`
+	State    string  `json:"state"`
+	CPU      float64 `json:"cpuRequest"`
+	MemMB    float64 `json:"memLimitMB"`
+	NetMbps  float64 `json:"netCapMbps"`
+	Inflight int     `json:"inflight"`
+	UsageCPU float64 `json:"usageCPU"`
+	UsageMem float64 `json:"usageMemMB"`
+}
+
+func replicaDTO(c *container.Container) ReplicaDTO {
+	u := c.LastUsage()
+	return ReplicaDTO{
+		ID: c.ID, Node: c.NodeID, State: c.State.String(),
+		CPU: c.Alloc.CPU, MemMB: c.Alloc.MemMB, NetMbps: c.Alloc.NetMbps,
+		Inflight: c.Inflight(), UsageCPU: u.CPU, UsageMem: u.MemMB,
+	}
+}
+
+// ServiceDTO is the JSON form of one service.
+type ServiceDTO struct {
+	Name          string       `json:"name"`
+	Replicas      []ReplicaDTO `json:"replicas"`
+	Completed     uint64       `json:"completed"`
+	FailedPercent float64      `json:"failedPercent"`
+	MeanLatencyMs float64      `json:"meanLatencyMs"`
+}
+
+func (s *Server) serviceDTO(name string) ServiceDTO {
+	dto := ServiceDTO{Name: name, Replicas: []ReplicaDTO{}}
+	for _, rep := range s.world.Monitor().Replicas(name) {
+		dto.Replicas = append(dto.Replicas, replicaDTO(rep))
+	}
+	sum := s.world.Recorder().SummarizeService(name)
+	dto.Completed = sum.Completed
+	dto.FailedPercent = sum.FailedPercent()
+	dto.MeanLatencyMs = float64(sum.MeanLatency) / float64(time.Millisecond)
+	return dto
+}
+
+func (s *Server) serviceNames() []string {
+	names := make([]string, 0)
+	for _, ss := range s.world.Recorder().Services() {
+		names = append(names, ss.Name)
+	}
+	// Services with no traffic yet still exist; derive from the cluster.
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		seen[n] = true
+	}
+	for _, node := range s.world.Cluster().Nodes() {
+		for _, c := range node.Containers() {
+			if !seen[c.Service] && !strings.HasPrefix(c.Service, "stress-") {
+				seen[c.Service] = true
+				names = append(names, c.Service)
+			}
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (s *Server) handleServices(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	out := make([]ServiceDTO, 0)
+	for _, name := range s.serviceNames() {
+		out = append(out, s.serviceDTO(name))
+	}
+	s.mu.Unlock()
+	s.writeJSON(w, out)
+}
+
+func (s *Server) handleService(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	dto := s.serviceDTO(name)
+	s.mu.Unlock()
+	if len(dto.Replicas) == 0 && dto.Completed == 0 {
+		http.Error(w, fmt.Sprintf("unknown service %q", name), http.StatusNotFound)
+		return
+	}
+	s.writeJSON(w, dto)
+}
+
+// scaleRequest is the body of POST /v1/services/{name}/scale.
+type scaleRequest struct {
+	// Replicas is the desired replica count.
+	Replicas int `json:"replicas"`
+}
+
+func (s *Server) handleScale(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req scaleRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Replicas < 0 {
+		http.Error(w, "replicas must be non-negative", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	reps := s.world.Monitor().Replicas(name)
+	if len(reps) == 0 {
+		http.Error(w, fmt.Sprintf("unknown service %q", name), http.StatusNotFound)
+		return
+	}
+	now := s.world.Engine().Now()
+	var plan core.Plan
+	switch {
+	case req.Replicas > len(reps):
+		// Place additional replicas on the emptiest nodes, cloning the
+		// first replica's allocation.
+		alloc := reps[0].Alloc
+		for i := len(reps); i < req.Replicas; i++ {
+			nodeID := s.pickNode(alloc)
+			if nodeID == "" {
+				http.Error(w, "no node fits a new replica", http.StatusConflict)
+				return
+			}
+			plan.Actions = append(plan.Actions, core.ScaleOut{Service: name, NodeID: nodeID, Alloc: alloc})
+		}
+	case req.Replicas < len(reps):
+		for i := len(reps) - 1; i >= req.Replicas; i-- {
+			plan.Actions = append(plan.Actions, core.ScaleIn{ContainerID: reps[i].ID})
+		}
+	}
+	s.world.Monitor().Apply(plan, now)
+	s.writeJSON(w, map[string]any{"service": name, "replicas": req.Replicas, "actions": len(plan.Actions)})
+}
+
+func (s *Server) pickNode(alloc resources.Vector) string {
+	best, bestCPU := "", -1.0
+	for _, n := range s.world.Cluster().Nodes() {
+		a := n.Available()
+		if alloc.FitsIn(a) && a.CPU > bestCPU {
+			best, bestCPU = n.ID(), a.CPU
+		}
+	}
+	return best
+}
+
+// NodeDTO is the JSON form of one machine.
+type NodeDTO struct {
+	ID         string           `json:"id"`
+	Capacity   resources.Vector `json:"capacity"`
+	Allocated  resources.Vector `json:"allocated"`
+	Available  resources.Vector `json:"available"`
+	Containers []string         `json:"containers"`
+}
+
+func (s *Server) handleNodes(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	out := make([]NodeDTO, 0)
+	for _, n := range s.world.Cluster().Nodes() {
+		dto := NodeDTO{
+			ID: n.ID(), Capacity: n.Capacity(),
+			Allocated: n.Allocated(), Available: n.Available(),
+			Containers: []string{},
+		}
+		for _, c := range n.Containers() {
+			dto.Containers = append(dto.Containers, c.ID)
+		}
+		out = append(out, dto)
+	}
+	s.mu.Unlock()
+	s.writeJSON(w, out)
+}
+
+// handleLatency exports the constant-memory latency histogram: quantile
+// estimates plus the non-empty buckets (milliseconds).
+func (s *Server) handleLatency(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	h := s.world.Recorder().LatencyHistogram()
+	type bucketDTO struct {
+		UpperMs float64 `json:"upperMs"`
+		Count   uint64  `json:"count"`
+	}
+	out := struct {
+		Count   uint64      `json:"count"`
+		MeanMs  float64     `json:"meanMs"`
+		P50Ms   float64     `json:"p50Ms"`
+		P95Ms   float64     `json:"p95Ms"`
+		P99Ms   float64     `json:"p99Ms"`
+		MaxMs   float64     `json:"maxMs"`
+		Buckets []bucketDTO `json:"buckets"`
+	}{
+		Count:   h.Count(),
+		MeanMs:  float64(h.Mean()) / float64(time.Millisecond),
+		P50Ms:   float64(h.Quantile(0.50)) / float64(time.Millisecond),
+		P95Ms:   float64(h.Quantile(0.95)) / float64(time.Millisecond),
+		P99Ms:   float64(h.Quantile(0.99)) / float64(time.Millisecond),
+		MaxMs:   float64(h.Max()) / float64(time.Millisecond),
+		Buckets: []bucketDTO{},
+	}
+	for _, b := range h.Buckets() {
+		out.Buckets = append(out.Buckets, bucketDTO{
+			UpperMs: float64(b.UpperBound) / float64(time.Millisecond),
+			Count:   b.Count,
+		})
+	}
+	s.mu.Unlock()
+	s.writeJSON(w, out)
+}
+
+// handleMetrics renders a Prometheus-style text exposition of the key
+// series: request counters, per-service replica gauges and per-node
+// allocation gauges.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+
+	sum := s.world.Summary()
+	fmt.Fprintf(w, "# TYPE hyscale_requests_total counter\nhyscale_requests_total %d\n", sum.Requests)
+	fmt.Fprintf(w, "# TYPE hyscale_completed_total counter\nhyscale_completed_total %d\n", sum.Completed)
+	fmt.Fprintf(w, "# TYPE hyscale_failures_total counter\n")
+	fmt.Fprintf(w, "hyscale_failures_total{class=\"removal\"} %d\n", sum.RemovalFailures)
+	fmt.Fprintf(w, "hyscale_failures_total{class=\"connection\"} %d\n", sum.ConnectionFailures)
+
+	fmt.Fprintf(w, "# TYPE hyscale_service_replicas gauge\n")
+	for _, name := range s.serviceNames() {
+		fmt.Fprintf(w, "hyscale_service_replicas{service=%q} %d\n", name, len(s.world.Monitor().Replicas(name)))
+	}
+
+	fmt.Fprintf(w, "# TYPE hyscale_node_cpu_allocated gauge\n")
+	for _, n := range s.world.Cluster().Nodes() {
+		fmt.Fprintf(w, "hyscale_node_cpu_allocated{node=%q} %.3f\n", n.ID(), n.Allocated().CPU)
+	}
+
+	c := s.world.Monitor().Counts()
+	fmt.Fprintf(w, "# TYPE hyscale_scaling_actions_total counter\n")
+	fmt.Fprintf(w, "hyscale_scaling_actions_total{kind=\"vertical\"} %d\n", c.Vertical)
+	fmt.Fprintf(w, "hyscale_scaling_actions_total{kind=\"scale_out\"} %d\n", c.ScaleOuts)
+	fmt.Fprintf(w, "hyscale_scaling_actions_total{kind=\"scale_in\"} %d\n", c.ScaleIns)
+}

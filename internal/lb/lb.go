@@ -1,0 +1,129 @@
+// Package lb implements the distributed server-side load balancers of the
+// paper's platform (§V): they proxy client requests to the replicas of a
+// microservice. The balancer also charges the cross-node distribution
+// overhead the paper measured in §III-A — a latency term that grows
+// logarithmically with the number of replicas.
+package lb
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"hyscale/internal/container"
+	"hyscale/internal/workload"
+)
+
+// Policy selects how the balancer picks a replica.
+type Policy int
+
+// Routing policies.
+const (
+	// RoundRobin cycles through routable replicas per service.
+	RoundRobin Policy = iota + 1
+	// LeastOutstanding picks the routable replica with the fewest in-flight
+	// requests, breaking ties by order.
+	LeastOutstanding
+	// WeightedLeastOutstanding picks the replica with the lowest in-flight
+	// count per allocated CPU — the right policy when vertical scaling has
+	// made replica sizes heterogeneous (a 3-CPU replica should carry ~12x
+	// the load of a 0.25-CPU one).
+	WeightedLeastOutstanding
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case LeastOutstanding:
+		return "least-outstanding"
+	case WeightedLeastOutstanding:
+		return "weighted-least-outstanding"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ErrNoBackend is returned when a service has no routable replica; the
+// request becomes a connection failure.
+var ErrNoBackend = errors.New("lb: no routable replica")
+
+// Balancer routes requests to replicas. It is single-goroutine like the
+// rest of the simulator.
+type Balancer struct {
+	policy Policy
+	// DistributionOverhead is the latency charged per doubling of the
+	// replica set (c·log2(replicas), §III-A). Zero disables the effect.
+	DistributionOverhead time.Duration
+
+	rr map[string]int
+}
+
+// New creates a balancer with the given policy.
+func New(policy Policy) *Balancer {
+	return &Balancer{policy: policy, rr: make(map[string]int)}
+}
+
+// Policy returns the routing policy.
+func (b *Balancer) Policy() Policy { return b.policy }
+
+// Route picks a routable replica for the request and charges the
+// distribution overhead. It does not enqueue the request; the caller does,
+// which keeps routing decisions testable in isolation. Returns ErrNoBackend
+// when every replica is down or still starting.
+func (b *Balancer) Route(req *workload.Request, replicas []*container.Container) (*container.Container, error) {
+	routable := routableOf(replicas)
+	if len(routable) == 0 {
+		return nil, ErrNoBackend
+	}
+
+	if b.DistributionOverhead > 0 && len(routable) > 1 {
+		req.ExtraLatency += time.Duration(float64(b.DistributionOverhead) * math.Log2(float64(len(routable))))
+	}
+
+	switch b.policy {
+	case LeastOutstanding:
+		best := routable[0]
+		for _, c := range routable[1:] {
+			if c.Inflight() < best.Inflight() {
+				best = c
+			}
+		}
+		return best, nil
+	case WeightedLeastOutstanding:
+		best := routable[0]
+		bestScore := weightedScore(best)
+		for _, c := range routable[1:] {
+			if s := weightedScore(c); s < bestScore {
+				best, bestScore = c, s
+			}
+		}
+		return best, nil
+	default: // RoundRobin, also the fallback for unknown policies
+		i := b.rr[req.Service] % len(routable)
+		b.rr[req.Service] = (i + 1) % len(routable)
+		return routable[i], nil
+	}
+}
+
+// weightedScore is in-flight load per allocated CPU; replicas with no CPU
+// request count as minimally sized so they still sort sanely.
+func weightedScore(c *container.Container) float64 {
+	cpu := c.Alloc.CPU
+	if cpu <= 0 {
+		cpu = 0.01
+	}
+	return float64(c.Inflight()) / cpu
+}
+
+func routableOf(replicas []*container.Container) []*container.Container {
+	out := make([]*container.Container, 0, len(replicas))
+	for _, c := range replicas {
+		if c.Routable() && !c.Overloaded() {
+			out = append(out, c)
+		}
+	}
+	return out
+}

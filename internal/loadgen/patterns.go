@@ -1,0 +1,118 @@
+package loadgen
+
+import (
+	"math"
+	"time"
+)
+
+// Additional load patterns beyond the paper's low-burst/high-burst pair:
+// composable building blocks for the sensitivity sweeps and examples.
+
+// Ramp grows the rate linearly from Start to End over Duration, then holds
+// End — the classic capacity-planning shape for watching an autoscaler
+// track sustained growth.
+type Ramp struct {
+	Start, End float64
+	Duration   time.Duration
+}
+
+// Rate implements Pattern.
+func (r Ramp) Rate(at time.Duration) float64 {
+	if r.Duration <= 0 || at >= r.Duration {
+		return r.End
+	}
+	if at < 0 {
+		return r.Start
+	}
+	frac := float64(at) / float64(r.Duration)
+	return r.Start + (r.End-r.Start)*frac
+}
+
+// Diurnal composes two sinusoids — a long day/night cycle and a shorter
+// intra-day ripple — approximating the business-day load of the Bitbrains
+// tenants (§VI-B).
+type Diurnal struct {
+	// Base is the mean rate.
+	Base float64
+	// DayAmplitude is the relative swing of the day/night cycle.
+	DayAmplitude float64
+	// Day is the long cycle length.
+	Day time.Duration
+	// RippleAmplitude and Ripple add the short cycle.
+	RippleAmplitude float64
+	Ripple          time.Duration
+}
+
+// Rate implements Pattern.
+func (d Diurnal) Rate(at time.Duration) float64 {
+	r := d.Base
+	if d.Day > 0 {
+		r += d.Base * d.DayAmplitude * math.Sin(2*math.Pi*float64(at)/float64(d.Day))
+	}
+	if d.Ripple > 0 {
+		r += d.Base * d.RippleAmplitude * math.Sin(2*math.Pi*float64(at)/float64(d.Ripple))
+	}
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// FlashCrowd is a single one-off spike on top of a flat baseline — the
+// slashdot-effect shape that punishes slow scale-up the hardest.
+type FlashCrowd struct {
+	// Base is the steady rate outside the event.
+	Base float64
+	// Peak is the rate at the height of the crowd.
+	Peak float64
+	// Start is when the crowd begins.
+	Start time.Duration
+	// RampUp is how long the surge takes to reach Peak.
+	RampUp time.Duration
+	// Hold is how long the peak lasts.
+	Hold time.Duration
+	// Decay is how long the crowd takes to dissipate.
+	Decay time.Duration
+}
+
+// Rate implements Pattern.
+func (f FlashCrowd) Rate(at time.Duration) float64 {
+	switch {
+	case at < f.Start:
+		return f.Base
+	case at < f.Start+f.RampUp:
+		frac := float64(at-f.Start) / float64(f.RampUp)
+		return f.Base + (f.Peak-f.Base)*frac
+	case at < f.Start+f.RampUp+f.Hold:
+		return f.Peak
+	case f.Decay > 0 && at < f.Start+f.RampUp+f.Hold+f.Decay:
+		frac := float64(at-f.Start-f.RampUp-f.Hold) / float64(f.Decay)
+		return f.Peak + (f.Base-f.Peak)*frac
+	default:
+		return f.Base
+	}
+}
+
+// Sum superimposes patterns (e.g. a Diurnal baseline plus a FlashCrowd).
+type Sum []Pattern
+
+// Rate implements Pattern.
+func (s Sum) Rate(at time.Duration) float64 {
+	var total float64
+	for _, p := range s {
+		total += p.Rate(at)
+	}
+	return total
+}
+
+// Scaled multiplies a pattern's rate by a constant factor — handy for
+// sweeping load intensity without rebuilding the pattern.
+type Scaled struct {
+	Pattern Pattern
+	Factor  float64
+}
+
+// Rate implements Pattern.
+func (s Scaled) Rate(at time.Duration) float64 {
+	return s.Pattern.Rate(at) * s.Factor
+}

@@ -1,0 +1,102 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestRamp(t *testing.T) {
+	r := Ramp{Start: 10, End: 50, Duration: 100 * time.Second}
+	tests := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, 10},
+		{50 * time.Second, 30},
+		{100 * time.Second, 50},
+		{time.Hour, 50},
+		{-time.Second, 10},
+	}
+	for _, tt := range tests {
+		if got := r.Rate(tt.at); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Rate(%v) = %v, want %v", tt.at, got, tt.want)
+		}
+	}
+}
+
+func TestRampZeroDuration(t *testing.T) {
+	r := Ramp{Start: 10, End: 50}
+	if r.Rate(0) != 50 {
+		t.Error("zero-duration ramp should sit at End")
+	}
+}
+
+func TestDiurnal(t *testing.T) {
+	d := Diurnal{Base: 100, DayAmplitude: 0.5, Day: 24 * time.Hour}
+	if got := d.Rate(0); math.Abs(got-100) > 1e-9 {
+		t.Errorf("Rate(0) = %v, want 100", got)
+	}
+	if got := d.Rate(6 * time.Hour); math.Abs(got-150) > 1e-9 {
+		t.Errorf("Rate(day peak) = %v, want 150", got)
+	}
+	if got := d.Rate(18 * time.Hour); math.Abs(got-50) > 1e-9 {
+		t.Errorf("Rate(night) = %v, want 50", got)
+	}
+}
+
+func TestDiurnalWithRippleNeverNegative(t *testing.T) {
+	d := Diurnal{Base: 10, DayAmplitude: 1.0, Day: time.Hour, RippleAmplitude: 0.5, Ripple: 7 * time.Minute}
+	for i := 0; i < 3600; i += 30 {
+		if d.Rate(time.Duration(i)*time.Second) < 0 {
+			t.Fatal("negative rate")
+		}
+	}
+}
+
+func TestFlashCrowd(t *testing.T) {
+	f := FlashCrowd{
+		Base: 5, Peak: 50,
+		Start: time.Minute, RampUp: 30 * time.Second,
+		Hold: time.Minute, Decay: 30 * time.Second,
+	}
+	tests := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, 5},
+		{time.Minute + 15*time.Second, 27.5},   // mid-ramp
+		{2 * time.Minute, 50},                  // holding
+		{2*time.Minute + 45*time.Second, 27.5}, // mid-decay
+		{time.Hour, 5},                         // back to base
+	}
+	for _, tt := range tests {
+		if got := f.Rate(tt.at); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Rate(%v) = %v, want %v", tt.at, got, tt.want)
+		}
+	}
+}
+
+func TestFlashCrowdNoDecay(t *testing.T) {
+	f := FlashCrowd{Base: 1, Peak: 10, Start: 0, RampUp: time.Second, Hold: time.Second}
+	if got := f.Rate(3 * time.Second); got != 1 {
+		t.Errorf("after hold with no decay = %v, want base", got)
+	}
+}
+
+func TestSum(t *testing.T) {
+	s := Sum{Constant{RPS: 3}, Constant{RPS: 4}}
+	if got := s.Rate(0); got != 7 {
+		t.Errorf("Sum = %v, want 7", got)
+	}
+	if got := (Sum{}).Rate(0); got != 0 {
+		t.Errorf("empty Sum = %v, want 0", got)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	s := Scaled{Pattern: Constant{RPS: 6}, Factor: 1.5}
+	if got := s.Rate(0); got != 9 {
+		t.Errorf("Scaled = %v, want 9", got)
+	}
+}

@@ -1,0 +1,243 @@
+// Package metrics collects the user-perceived performance measurements the
+// paper reports: average response times, request failure percentages broken
+// down by class (removal vs connection failures), availability, and
+// time-series samples for plotting.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"hyscale/internal/stats"
+	"hyscale/internal/workload"
+)
+
+// Recorder accumulates per-service request outcomes for one experiment run.
+// It is not safe for concurrent use; the simulation is single-threaded.
+//
+// The recorder keeps every latency sample for exact percentiles (what the
+// experiment tables report) and, in parallel, a constant-memory log-bucket
+// histogram for long-lived deployments to export (see LatencyHistogram and
+// the /v1/latency endpoint in internal/httpapi).
+type Recorder struct {
+	services map[string]*ServiceStats
+	order    []string
+	hist     *stats.Histogram
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		services: make(map[string]*ServiceStats),
+		hist:     stats.DefaultLatencyHistogram(),
+	}
+}
+
+// LatencyHistogram returns the streaming latency histogram across all
+// services.
+func (r *Recorder) LatencyHistogram() *stats.Histogram { return r.hist }
+
+// ServiceStats holds the outcome counters and latency samples for one
+// microservice.
+type ServiceStats struct {
+	Name string
+
+	Completed          uint64
+	RemovalFailures    uint64
+	ConnectionFailures uint64
+
+	latencies []time.Duration
+	totalLat  time.Duration
+}
+
+func (r *Recorder) service(name string) *ServiceStats {
+	s, ok := r.services[name]
+	if !ok {
+		s = &ServiceStats{Name: name}
+		r.services[name] = s
+		r.order = append(r.order, name)
+	}
+	return s
+}
+
+// RecordCompletion records a successful request with its response time.
+func (r *Recorder) RecordCompletion(service string, latency time.Duration) {
+	s := r.service(service)
+	s.Completed++
+	s.latencies = append(s.latencies, latency)
+	s.totalLat += latency
+	r.hist.Observe(latency)
+}
+
+// RecordFailure records a failed request with its failure class.
+func (r *Recorder) RecordFailure(service string, class workload.FailureClass) {
+	s := r.service(service)
+	switch class {
+	case workload.FailureRemoval:
+		s.RemovalFailures++
+	default:
+		s.ConnectionFailures++
+	}
+}
+
+// Services returns the per-service stats in first-seen order.
+func (r *Recorder) Services() []*ServiceStats {
+	out := make([]*ServiceStats, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.services[name])
+	}
+	return out
+}
+
+// Summary is the cross-service aggregate the paper's figures report.
+type Summary struct {
+	Requests           uint64
+	Completed          uint64
+	RemovalFailures    uint64
+	ConnectionFailures uint64
+
+	MeanLatency time.Duration
+	P50Latency  time.Duration
+	P95Latency  time.Duration
+	P99Latency  time.Duration
+	MaxLatency  time.Duration
+}
+
+// FailedPercent returns the percentage of all requests that failed.
+func (s Summary) FailedPercent() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return 100 * float64(s.RemovalFailures+s.ConnectionFailures) / float64(s.Requests)
+}
+
+// RemovalFailedPercent returns the percentage of requests that died to
+// container removals.
+func (s Summary) RemovalFailedPercent() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return 100 * float64(s.RemovalFailures) / float64(s.Requests)
+}
+
+// ConnectionFailedPercent returns the percentage of requests that failed at
+// the microservice.
+func (s Summary) ConnectionFailedPercent() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return 100 * float64(s.ConnectionFailures) / float64(s.Requests)
+}
+
+// String implements fmt.Stringer with the row format used in EXPERIMENTS.md.
+func (s Summary) String() string {
+	return fmt.Sprintf("requests=%d completed=%d failed=%.2f%% (removal=%.2f%% connection=%.2f%%) mean=%v p95=%v",
+		s.Requests, s.Completed, s.FailedPercent(), s.RemovalFailedPercent(), s.ConnectionFailedPercent(),
+		s.MeanLatency.Round(time.Millisecond), s.P95Latency.Round(time.Millisecond))
+}
+
+// Summarize aggregates all services into one Summary.
+func (r *Recorder) Summarize() Summary {
+	var sum Summary
+	var all []time.Duration
+	var total time.Duration
+	for _, s := range r.services {
+		sum.Completed += s.Completed
+		sum.RemovalFailures += s.RemovalFailures
+		sum.ConnectionFailures += s.ConnectionFailures
+		all = append(all, s.latencies...)
+		total += s.totalLat
+	}
+	sum.Requests = sum.Completed + sum.RemovalFailures + sum.ConnectionFailures
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		sum.MeanLatency = total / time.Duration(len(all))
+		sum.P50Latency = percentile(all, 0.50)
+		sum.P95Latency = percentile(all, 0.95)
+		sum.P99Latency = percentile(all, 0.99)
+		sum.MaxLatency = all[len(all)-1]
+	}
+	return sum
+}
+
+// SummarizeService aggregates a single service, returning a zero Summary for
+// unknown names.
+func (r *Recorder) SummarizeService(name string) Summary {
+	s, ok := r.services[name]
+	if !ok {
+		return Summary{}
+	}
+	var sum Summary
+	sum.Completed = s.Completed
+	sum.RemovalFailures = s.RemovalFailures
+	sum.ConnectionFailures = s.ConnectionFailures
+	sum.Requests = sum.Completed + sum.RemovalFailures + sum.ConnectionFailures
+	if len(s.latencies) > 0 {
+		lat := append([]time.Duration(nil), s.latencies...)
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		sum.MeanLatency = s.totalLat / time.Duration(len(lat))
+		sum.P50Latency = percentile(lat, 0.50)
+		sum.P95Latency = percentile(lat, 0.95)
+		sum.P99Latency = percentile(lat, 0.99)
+		sum.MaxLatency = lat[len(lat)-1]
+	}
+	return sum
+}
+
+// percentile returns the p-quantile (0..1) of a sorted slice using the
+// nearest-rank method.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// TimeSeries is an append-only series of (time, value) samples used to
+// reproduce the paper's trace plots (e.g. Fig. 9).
+type TimeSeries struct {
+	Name   string
+	Times  []time.Duration
+	Values []float64
+}
+
+// Append adds a sample.
+func (t *TimeSeries) Append(at time.Duration, v float64) {
+	t.Times = append(t.Times, at)
+	t.Values = append(t.Values, v)
+}
+
+// Len returns the number of samples.
+func (t *TimeSeries) Len() int { return len(t.Values) }
+
+// Mean returns the average of all values, or 0 when empty.
+func (t *TimeSeries) Mean() float64 {
+	if len(t.Values) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range t.Values {
+		s += v
+	}
+	return s / float64(len(t.Values))
+}
+
+// Max returns the maximum value, or 0 when empty.
+func (t *TimeSeries) Max() float64 {
+	var m float64
+	for i, v := range t.Values {
+		if i == 0 || v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hyscale/internal/workload"
+)
+
+func TestRecordAndSummarize(t *testing.T) {
+	r := NewRecorder()
+	r.RecordCompletion("a", 100*time.Millisecond)
+	r.RecordCompletion("a", 300*time.Millisecond)
+	r.RecordFailure("a", workload.FailureRemoval)
+	r.RecordFailure("b", workload.FailureConnection)
+
+	s := r.Summarize()
+	if s.Requests != 4 || s.Completed != 2 {
+		t.Fatalf("requests=%d completed=%d, want 4/2", s.Requests, s.Completed)
+	}
+	if s.RemovalFailures != 1 || s.ConnectionFailures != 1 {
+		t.Fatalf("failures = %d/%d, want 1/1", s.RemovalFailures, s.ConnectionFailures)
+	}
+	if s.MeanLatency != 200*time.Millisecond {
+		t.Errorf("mean = %v, want 200ms", s.MeanLatency)
+	}
+	if s.FailedPercent() != 50 {
+		t.Errorf("FailedPercent = %v, want 50", s.FailedPercent())
+	}
+	if s.RemovalFailedPercent() != 25 || s.ConnectionFailedPercent() != 25 {
+		t.Error("class percents wrong")
+	}
+}
+
+func TestEmptySummary(t *testing.T) {
+	s := NewRecorder().Summarize()
+	if s.Requests != 0 || s.FailedPercent() != 0 || s.MeanLatency != 0 {
+		t.Error("empty recorder should summarize to zeros")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	r := NewRecorder()
+	for i := 1; i <= 100; i++ {
+		r.RecordCompletion("a", time.Duration(i)*time.Millisecond)
+	}
+	s := r.Summarize()
+	if s.P50Latency != 50*time.Millisecond {
+		t.Errorf("p50 = %v, want 50ms", s.P50Latency)
+	}
+	if s.P95Latency != 95*time.Millisecond {
+		t.Errorf("p95 = %v, want 95ms", s.P95Latency)
+	}
+	if s.P99Latency != 99*time.Millisecond {
+		t.Errorf("p99 = %v, want 99ms", s.P99Latency)
+	}
+	if s.MaxLatency != 100*time.Millisecond {
+		t.Errorf("max = %v, want 100ms", s.MaxLatency)
+	}
+}
+
+func TestSummarizeService(t *testing.T) {
+	r := NewRecorder()
+	r.RecordCompletion("a", 10*time.Millisecond)
+	r.RecordCompletion("b", 90*time.Millisecond)
+	r.RecordFailure("b", workload.FailureConnection)
+
+	sa := r.SummarizeService("a")
+	if sa.Requests != 1 || sa.MeanLatency != 10*time.Millisecond {
+		t.Errorf("service a summary wrong: %+v", sa)
+	}
+	sb := r.SummarizeService("b")
+	if sb.Requests != 2 || sb.ConnectionFailures != 1 {
+		t.Errorf("service b summary wrong: %+v", sb)
+	}
+	if z := r.SummarizeService("nope"); z.Requests != 0 {
+		t.Error("unknown service should be zero")
+	}
+}
+
+func TestServicesOrderedFirstSeen(t *testing.T) {
+	r := NewRecorder()
+	r.RecordCompletion("z", time.Millisecond)
+	r.RecordCompletion("a", time.Millisecond)
+	r.RecordCompletion("z", time.Millisecond)
+	ss := r.Services()
+	if len(ss) != 2 || ss[0].Name != "z" || ss[1].Name != "a" {
+		t.Errorf("order wrong: %v", ss)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	r := NewRecorder()
+	r.RecordCompletion("a", 123*time.Millisecond)
+	s := r.Summarize().String()
+	if !strings.Contains(s, "requests=1") || !strings.Contains(s, "mean=123ms") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := &TimeSeries{Name: "x"}
+	if ts.Mean() != 0 || ts.Max() != 0 || ts.Len() != 0 {
+		t.Error("empty series stats should be zero")
+	}
+	ts.Append(time.Second, 1)
+	ts.Append(2*time.Second, 3)
+	ts.Append(3*time.Second, 2)
+	if ts.Len() != 3 {
+		t.Errorf("Len = %d", ts.Len())
+	}
+	if ts.Mean() != 2 {
+		t.Errorf("Mean = %v, want 2", ts.Mean())
+	}
+	if ts.Max() != 3 {
+		t.Errorf("Max = %v, want 3", ts.Max())
+	}
+}
+
+func TestUnknownFailureClassCountsAsConnection(t *testing.T) {
+	r := NewRecorder()
+	r.RecordFailure("a", workload.FailureNone)
+	if got := r.Summarize().ConnectionFailures; got != 1 {
+		t.Errorf("ConnectionFailures = %d, want 1", got)
+	}
+}
+
+func TestLatencyHistogramTracksCompletions(t *testing.T) {
+	r := NewRecorder()
+	for i := 1; i <= 1000; i++ {
+		r.RecordCompletion("a", time.Duration(i)*time.Millisecond)
+	}
+	h := r.LatencyHistogram()
+	if h.Count() != 1000 {
+		t.Fatalf("histogram count = %d", h.Count())
+	}
+	// Histogram p95 must approximate the exact recorder's p95 within the
+	// bucket error (~10%).
+	exact := r.Summarize().P95Latency
+	est := h.Quantile(0.95)
+	ratio := float64(est) / float64(exact)
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Errorf("histogram p95 %v vs exact %v (ratio %.2f)", est, exact, ratio)
+	}
+}

@@ -1,0 +1,342 @@
+// Package monitor implements the MONITOR of the paper's platform (§V-C): the
+// central arbiter that periodically queries every node manager for resource
+// statistics, hands the cluster-wide snapshot to the configured autoscaling
+// algorithm, and executes the resulting plan — vertical `docker update`s,
+// replica scale-outs with container start latency, and replica removals
+// (whose in-flight requests become removal failures).
+package monitor
+
+import (
+	"fmt"
+	"time"
+
+	"hyscale/internal/cluster"
+	"hyscale/internal/container"
+	"hyscale/internal/core"
+	"hyscale/internal/nodemanager"
+	"hyscale/internal/resources"
+	"hyscale/internal/workload"
+)
+
+// ActionCounts tallies the scaling operations the Monitor has executed,
+// used by the resource-efficiency analyses.
+type ActionCounts struct {
+	Vertical  uint64
+	ScaleOuts uint64
+	ScaleIns  uint64
+	// PlacementFailures counts scale-outs that could not be executed
+	// because the target node no longer fit the allocation.
+	PlacementFailures uint64
+}
+
+// serviceState tracks a registered microservice.
+type serviceState struct {
+	spec workload.ServiceSpec
+	info core.ServiceInfo
+	// replicaIDs lists live container IDs in creation order.
+	replicaIDs []string
+	nextIdx    int
+}
+
+// Monitor is the central arbiter. Single-goroutine, like the rest of the
+// simulator.
+type Monitor struct {
+	cluster *cluster.Cluster
+	nms     []*nodemanager.Manager
+	nmByID  map[string]*nodemanager.Manager
+	algo    core.Algorithm
+
+	services []*serviceState
+	byName   map[string]*serviceState
+
+	// StartDelay is the container start latency applied to scale-outs.
+	StartDelay time.Duration
+
+	// OnRemovalFailure is invoked for every in-flight request killed by a
+	// scale-in. Nil is allowed.
+	OnRemovalFailure func(*workload.Request)
+
+	counts ActionCounts
+}
+
+// New wires a monitor to the cluster, creating one node manager per node,
+// and installs the scaling algorithm.
+func New(cl *cluster.Cluster, algo core.Algorithm) *Monitor {
+	m := &Monitor{
+		cluster:    cl,
+		nmByID:     make(map[string]*nodemanager.Manager),
+		algo:       algo,
+		byName:     make(map[string]*serviceState),
+		StartDelay: time.Second,
+	}
+	for _, n := range cl.Nodes() {
+		nm := nodemanager.New(n)
+		m.nms = append(m.nms, nm)
+		m.nmByID[n.ID()] = nm
+	}
+	return m
+}
+
+// Algorithm returns the installed scaling algorithm.
+func (m *Monitor) Algorithm() core.Algorithm { return m.algo }
+
+// Counts returns the cumulative action counters.
+func (m *Monitor) Counts() ActionCounts { return m.counts }
+
+// DetachNode drops the node manager of a failed machine so the Monitor
+// stops querying it. Call after cluster.RemoveNode. Unknown IDs are a no-op.
+func (m *Monitor) DetachNode(nodeID string) {
+	if _, ok := m.nmByID[nodeID]; !ok {
+		return
+	}
+	delete(m.nmByID, nodeID)
+	for i, nm := range m.nms {
+		if nm.NodeID() == nodeID {
+			m.nms = append(m.nms[:i], m.nms[i+1:]...)
+			break
+		}
+	}
+}
+
+// AttachNode registers a node manager for a newly added machine (the
+// paper's future-work item of dynamic machine addition).
+func (m *Monitor) AttachNode(n *cluster.Node) {
+	if _, dup := m.nmByID[n.ID()]; dup {
+		return
+	}
+	nm := nodemanager.New(n)
+	m.nms = append(m.nms, nm)
+	m.nmByID[n.ID()] = nm
+}
+
+// AddService registers a microservice with its scaling target. No replicas
+// are created; call DeployInitial (or let the algorithm's min-replica
+// enforcement do it).
+func (m *Monitor) AddService(spec workload.ServiceSpec, targetUtil float64) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if _, dup := m.byName[spec.Name]; dup {
+		return fmt.Errorf("monitor: duplicate service %q", spec.Name)
+	}
+	st := &serviceState{
+		spec: spec,
+		info: core.ServiceInfo{
+			Name:          spec.Name,
+			MinReplicas:   spec.MinReplicas,
+			MaxReplicas:   spec.MaxReplicas,
+			TargetUtil:    targetUtil,
+			BaselineMemMB: spec.BaselineMemMB,
+			InitialAlloc: resources.Vector{
+				CPU:     spec.InitialReplicaCPU,
+				MemMB:   spec.InitialReplicaMemMB,
+				NetMbps: spec.InitialReplicaNetMbps,
+			},
+		},
+	}
+	m.services = append(m.services, st)
+	m.byName[spec.Name] = st
+	return nil
+}
+
+// DeployInitial starts the service's minimum replica count, spreading
+// across the least-loaded nodes. Initial deployments are warm: the replicas
+// are ready immediately, modelling services already running before the
+// experiment's measurement window opens (only autoscaler-initiated
+// scale-outs pay the container start latency).
+func (m *Monitor) DeployInitial(service string, now time.Duration) error {
+	st, ok := m.byName[service]
+	if !ok {
+		return fmt.Errorf("monitor: unknown service %q", service)
+	}
+	for len(st.replicaIDs) < st.spec.MinReplicas {
+		nodeID := m.leastLoadedNode(st.info.InitialAlloc)
+		if nodeID == "" {
+			return fmt.Errorf("monitor: no node fits initial replica of %q", service)
+		}
+		if err := m.startReplicaAt(st, nodeID, st.info.InitialAlloc, now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StartReplica manually starts one replica of the service on the given node
+// with the given allocation — used by experiments that pin placement (the
+// §III microbenchmarks) and by initial deployments.
+func (m *Monitor) StartReplica(service, nodeID string, alloc resources.Vector, now time.Duration) error {
+	st, ok := m.byName[service]
+	if !ok {
+		return fmt.Errorf("monitor: unknown service %q", service)
+	}
+	return m.startReplica(st, nodeID, alloc, now)
+}
+
+// leastLoadedNode returns the node with the most available CPU that fits
+// alloc, or "".
+func (m *Monitor) leastLoadedNode(alloc resources.Vector) string {
+	best := ""
+	bestCPU := -1.0
+	for _, n := range m.cluster.Nodes() {
+		a := n.Available()
+		if !alloc.FitsIn(a) {
+			continue
+		}
+		if a.CPU > bestCPU {
+			bestCPU = a.CPU
+			best = n.ID()
+		}
+	}
+	return best
+}
+
+// Replicas returns the live replicas of a service in creation order.
+func (m *Monitor) Replicas(service string) []*container.Container {
+	st, ok := m.byName[service]
+	if !ok {
+		return nil
+	}
+	out := make([]*container.Container, 0, len(st.replicaIDs))
+	for _, id := range st.replicaIDs {
+		if c, _ := m.cluster.FindContainer(id); c != nil && c.State != container.StateRemoved {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Sample forwards a stats-sampling tick to every node manager.
+func (m *Monitor) Sample() {
+	for _, nm := range m.nms {
+		nm.Sample()
+	}
+}
+
+// Poll executes one monitoring period: query all NMs, build the snapshot,
+// ask the algorithm for a plan, and apply it.
+func (m *Monitor) Poll(now time.Duration) {
+	snap := m.Snapshot(now)
+	plan := m.algo.Decide(snap)
+	m.Apply(plan, now)
+}
+
+// Snapshot assembles the cluster-wide view from NM reports.
+func (m *Monitor) Snapshot(now time.Duration) core.Snapshot {
+	snap := core.Snapshot{Now: now}
+
+	// One report per node; index container stats for replica lookup.
+	statsByID := make(map[string]nodemanager.ContainerStats)
+	for _, nm := range m.nms {
+		rep := nm.Report()
+		ns := core.NodeStats{ID: rep.NodeID, Capacity: rep.Capacity, Available: rep.Available}
+		seen := make(map[string]bool)
+		for _, cs := range rep.Containers {
+			statsByID[cs.ID] = cs
+			if !seen[cs.Service] {
+				ns.Hosts = append(ns.Hosts, cs.Service)
+				seen[cs.Service] = true
+			}
+		}
+		snap.Nodes = append(snap.Nodes, ns)
+	}
+
+	for _, st := range m.services {
+		ss := core.ServiceStats{Info: st.info}
+		live := st.replicaIDs[:0]
+		for _, id := range st.replicaIDs {
+			c, node := m.cluster.FindContainer(id)
+			if c == nil || c.State == container.StateRemoved {
+				continue
+			}
+			live = append(live, id)
+			cs, ok := statsByID[id]
+			if !ok {
+				cs = nodemanager.ContainerStats{ID: id, Service: st.spec.Name, Requested: c.Alloc, Routable: c.Routable()}
+			}
+			ss.Replicas = append(ss.Replicas, core.ReplicaStats{
+				ContainerID: id,
+				NodeID:      node.ID(),
+				Requested:   cs.Requested,
+				Usage:       cs.Usage,
+				Routable:    cs.Routable,
+			})
+		}
+		st.replicaIDs = live
+		snap.Services = append(snap.Services, ss)
+	}
+	return snap
+}
+
+// Apply executes a plan action-by-action.
+func (m *Monitor) Apply(plan core.Plan, now time.Duration) {
+	for _, a := range plan.Actions {
+		switch act := a.(type) {
+		case core.VerticalScale:
+			c, _ := m.cluster.FindContainer(act.ContainerID)
+			if c == nil || c.State == container.StateRemoved {
+				continue
+			}
+			if nm := m.nmByID[c.NodeID]; nm != nil {
+				if err := nm.ApplyVertical(act.ContainerID, act.NewAlloc); err == nil {
+					m.counts.Vertical++
+				}
+			}
+		case core.ScaleOut:
+			st, ok := m.byName[act.Service]
+			if !ok {
+				continue
+			}
+			if err := m.startReplica(st, act.NodeID, act.Alloc, now); err != nil {
+				m.counts.PlacementFailures++
+				continue
+			}
+		case core.ScaleIn:
+			m.removeReplica(act.ContainerID)
+		}
+	}
+}
+
+func (m *Monitor) startReplica(st *serviceState, nodeID string, alloc resources.Vector, now time.Duration) error {
+	// Stateful services pay the state-transfer time on top of the container
+	// start latency (§IV-B's motivation for preferring vertical scaling).
+	return m.startReplicaWithReady(st, nodeID, alloc, now+m.StartDelay+st.spec.SyncDelay(), false)
+}
+
+// startReplicaAt starts a replica that is ready immediately (warm initial
+// deployment).
+func (m *Monitor) startReplicaAt(st *serviceState, nodeID string, alloc resources.Vector, now time.Duration) error {
+	return m.startReplicaWithReady(st, nodeID, alloc, now, true)
+}
+
+func (m *Monitor) startReplicaWithReady(st *serviceState, nodeID string, alloc resources.Vector, readyAt time.Duration, warm bool) error {
+	node := m.cluster.Node(nodeID)
+	if node == nil {
+		return fmt.Errorf("monitor: unknown node %q", nodeID)
+	}
+	id := fmt.Sprintf("%s-%d", st.spec.Name, st.nextIdx)
+	st.nextIdx++
+	c := container.New(id, st.spec, nodeID, alloc, readyAt)
+	if warm {
+		c.MaybeStart(readyAt)
+	}
+	if err := node.AddContainer(c); err != nil {
+		return err
+	}
+	st.replicaIDs = append(st.replicaIDs, id)
+	m.counts.ScaleOuts++
+	return nil
+}
+
+func (m *Monitor) removeReplica(containerID string) {
+	_, node := m.cluster.FindContainer(containerID)
+	if node == nil {
+		return
+	}
+	killed := node.RemoveContainer(containerID)
+	m.counts.ScaleIns++
+	if m.OnRemovalFailure != nil {
+		for _, r := range killed {
+			m.OnRemovalFailure(r)
+		}
+	}
+}

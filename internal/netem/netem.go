@@ -1,0 +1,152 @@
+// Package netem models the node network path the paper's §III-C experiments
+// exercise: a shared NIC with a tx queue whose contention grows with the
+// number of concurrently transmitting flows, and per-container tc-style
+// egress caps. Vertical network scaling (re-splitting a node's bandwidth
+// with tc+iptables) is fair and changes little, while horizontal scaling
+// across machines relieves tx-queue contention — exactly the asymmetry that
+// motivates the paper's dedicated horizontal network scaling algorithm.
+package netem
+
+import "math"
+
+// Model captures the parameters of one node's network path.
+type Model struct {
+	// CapacityMbps is the NIC line rate.
+	CapacityMbps float64
+	// TxQueueContention is the per-extra-flow efficiency loss coefficient q:
+	// with k concurrently transmitting containers, each flow's achievable
+	// share is divided by (1 + q·(k−1)). Zero disables contention.
+	TxQueueContention float64
+}
+
+// DefaultModel mirrors the paper's cluster: a shared NIC where contention is
+// noticeable enough that spreading over ~8 machines keeps paying off
+// (Fig. 3) before tapering.
+func DefaultModel() Model {
+	return Model{CapacityMbps: 1000, TxQueueContention: 0.15}
+}
+
+// Share is the outcome of one bandwidth-allocation round for a container.
+type Share struct {
+	// RateMbps is the egress bandwidth the container actually gets.
+	RateMbps float64
+}
+
+// Flow describes one container that wants to transmit this tick.
+type Flow struct {
+	// CapMbps is the container's tc egress cap; 0 means unshaped.
+	CapMbps float64
+	// Count is the number of concurrent micro-flows (in-flight transmitting
+	// requests) inside the container; 0 means the container is idle. The
+	// node's tx-queue contention grows with the TOTAL micro-flow count —
+	// which is exactly why spreading the same traffic over more machines
+	// speeds it up (Fig. 3).
+	Count int
+}
+
+// Allocate distributes the node's egress bandwidth among flows for one tick.
+//
+// The allocation is per-micro-flow max-min fair (each TCP flow gets an equal
+// share, so a container's share is proportional to its flow count), each
+// container clamped by its tc cap, with the whole NIC derated by the
+// tx-queue contention of the total micro-flow count. It returns one Share
+// per input flow (zero for inactive flows). Allocate never hands out more
+// than the derated capacity.
+func (m Model) Allocate(flows []Flow) []Share {
+	shares := make([]Share, len(flows))
+	active := 0
+	total := 0
+	for _, f := range flows {
+		if f.Count > 0 {
+			active++
+			total += f.Count
+		}
+	}
+	if active == 0 {
+		return shares
+	}
+
+	capacity := m.CapacityMbps * m.Efficiency(total)
+
+	// Weighted max-min fair water-filling: distribute capacity
+	// proportionally to flow counts; freeze containers whose tc cap binds
+	// and redistribute the leftovers among the rest.
+	type state struct {
+		idx    int
+		weight float64
+		cap    float64 // +Inf when unshaped
+		frozen bool
+		rate   float64
+	}
+	states := make([]state, 0, active)
+	for i, f := range flows {
+		if f.Count <= 0 {
+			continue
+		}
+		c := f.CapMbps
+		if c <= 0 {
+			c = math.Inf(1)
+		}
+		states = append(states, state{idx: i, weight: float64(f.Count), cap: c})
+	}
+
+	remaining := capacity
+	unfrozen := len(states)
+	for unfrozen > 0 && remaining > 1e-12 {
+		var weightSum float64
+		for _, s := range states {
+			if !s.frozen {
+				weightSum += s.weight
+			}
+		}
+		if weightSum <= 0 {
+			break
+		}
+		progressed := false
+		for i := range states {
+			s := &states[i]
+			if s.frozen {
+				continue
+			}
+			grant := remaining * s.weight / weightSum
+			if s.cap <= s.rate+grant {
+				// The tc cap binds: top the container up to its cap and
+				// freeze it.
+				extra := s.cap - s.rate
+				if extra < 0 {
+					extra = 0
+				}
+				s.rate += extra
+				remaining -= extra
+				s.frozen = true
+				unfrozen--
+				progressed = true
+			}
+		}
+		if !progressed {
+			// No cap binds: hand out the final proportional split.
+			for i := range states {
+				s := &states[i]
+				if !s.frozen {
+					s.rate += remaining * s.weight / weightSum
+				}
+			}
+			remaining = 0
+		}
+	}
+
+	for _, s := range states {
+		shares[s.idx] = Share{RateMbps: s.rate}
+	}
+	return shares
+}
+
+// Efficiency returns the NIC efficiency factor for k concurrently
+// transmitting flows: 1/(1 + q·(k−1)). One flow always runs at full
+// efficiency.
+func (m Model) Efficiency(k int) float64 {
+	if k <= 1 {
+		return 1
+	}
+	return 1 / (1 + m.TxQueueContention*float64(k-1))
+}

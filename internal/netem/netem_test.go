@@ -1,0 +1,154 @@
+package netem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEfficiency(t *testing.T) {
+	m := Model{CapacityMbps: 1000, TxQueueContention: 0.15}
+	tests := []struct {
+		k    int
+		want float64
+	}{
+		{0, 1}, {1, 1},
+		{2, 1 / 1.15},
+		{11, 1 / 2.5},
+	}
+	for _, tt := range tests {
+		if got := m.Efficiency(tt.k); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Efficiency(%d) = %v, want %v", tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestEfficiencyDisabled(t *testing.T) {
+	m := Model{CapacityMbps: 100, TxQueueContention: 0}
+	if got := m.Efficiency(50); got != 1 {
+		t.Errorf("Efficiency with q=0 = %v, want 1", got)
+	}
+}
+
+func TestAllocateNoFlows(t *testing.T) {
+	m := DefaultModel()
+	shares := m.Allocate([]Flow{{CapMbps: 10, Count: 0}, {}})
+	for i, s := range shares {
+		if s.RateMbps != 0 {
+			t.Errorf("share[%d] = %v, want 0", i, s.RateMbps)
+		}
+	}
+}
+
+func TestAllocateSingleUncappedFlowGetsLineRate(t *testing.T) {
+	m := Model{CapacityMbps: 1000, TxQueueContention: 0.15}
+	shares := m.Allocate([]Flow{{Count: 1}})
+	if math.Abs(shares[0].RateMbps-1000) > 1e-9 {
+		t.Errorf("single flow = %v, want 1000", shares[0].RateMbps)
+	}
+}
+
+func TestAllocateEqualSplitByFlowCount(t *testing.T) {
+	m := Model{CapacityMbps: 900, TxQueueContention: 0}
+	shares := m.Allocate([]Flow{{Count: 1}, {Count: 2}})
+	if math.Abs(shares[0].RateMbps-300) > 1e-9 || math.Abs(shares[1].RateMbps-600) > 1e-9 {
+		t.Errorf("shares = %v, want 300/600 (per-flow fairness)", shares)
+	}
+}
+
+func TestAllocateCapBindsAndRedistributes(t *testing.T) {
+	m := Model{CapacityMbps: 1000, TxQueueContention: 0}
+	shares := m.Allocate([]Flow{{CapMbps: 100, Count: 1}, {Count: 1}})
+	if math.Abs(shares[0].RateMbps-100) > 1e-9 {
+		t.Errorf("capped flow = %v, want 100", shares[0].RateMbps)
+	}
+	if math.Abs(shares[1].RateMbps-900) > 1e-9 {
+		t.Errorf("uncapped flow = %v, want 900 (leftover)", shares[1].RateMbps)
+	}
+}
+
+func TestAllocateContentionDeratesTotal(t *testing.T) {
+	m := Model{CapacityMbps: 1000, TxQueueContention: 0.15}
+	// Two containers, 5 flows each: total 10 flows.
+	shares := m.Allocate([]Flow{{Count: 5}, {Count: 5}})
+	total := shares[0].RateMbps + shares[1].RateMbps
+	want := 1000 * m.Efficiency(10)
+	if math.Abs(total-want) > 1e-6 {
+		t.Errorf("total = %v, want derated %v", total, want)
+	}
+}
+
+func TestAllocateTinyCapDoesNotStall(t *testing.T) {
+	m := Model{CapacityMbps: 1000, TxQueueContention: 0.1}
+	shares := m.Allocate([]Flow{{CapMbps: 0.001, Count: 3}, {Count: 1}})
+	if shares[0].RateMbps > 0.001+1e-9 {
+		t.Errorf("capped = %v, want <= 0.001", shares[0].RateMbps)
+	}
+	if shares[1].RateMbps <= 0 {
+		t.Error("uncapped flow starved")
+	}
+}
+
+// Property: the sum of shares never exceeds the derated capacity, no share
+// is negative, and no share exceeds its cap.
+func TestQuickAllocateInvariants(t *testing.T) {
+	m := Model{CapacityMbps: 1000, TxQueueContention: 0.15}
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(n%8) + 1
+		flows := make([]Flow, k)
+		total := 0
+		for i := range flows {
+			if rng.Float64() < 0.7 {
+				flows[i].Count = rng.Intn(20)
+			}
+			if rng.Float64() < 0.5 {
+				flows[i].CapMbps = rng.Float64() * 200
+			}
+			total += flows[i].Count
+		}
+		shares := m.Allocate(flows)
+		var sum float64
+		for i, s := range shares {
+			if s.RateMbps < -1e-9 {
+				return false
+			}
+			if flows[i].Count == 0 && s.RateMbps != 0 {
+				return false
+			}
+			if flows[i].CapMbps > 0 && s.RateMbps > flows[i].CapMbps+1e-6 {
+				return false
+			}
+			sum += s.RateMbps
+		}
+		return sum <= m.CapacityMbps*m.Efficiency(total)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: allocation is work-conserving when nobody is capped — active
+// flows split the whole derated capacity.
+func TestQuickAllocateWorkConserving(t *testing.T) {
+	m := Model{CapacityMbps: 500, TxQueueContention: 0.1}
+	f := func(n uint8) bool {
+		k := int(n%6) + 1
+		flows := make([]Flow, k)
+		total := 0
+		for i := range flows {
+			flows[i].Count = i + 1
+			total += i + 1
+		}
+		shares := m.Allocate(flows)
+		var sum float64
+		for _, s := range shares {
+			sum += s.RateMbps
+		}
+		return math.Abs(sum-m.CapacityMbps*m.Efficiency(total)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,120 @@
+// Package nodemanager implements the NODE MANAGER (NM) of the paper's
+// platform (§V-B): one per machine, it polls `docker stats` for every hosted
+// container, aggregates usage between Monitor queries, and executes the
+// vertical scaling commands (`docker update`) the Monitor sends down. NMs
+// deliberately make no scaling decisions of their own — the paper explains
+// that locally-optimal NM decisions oscillate against the Monitor's global
+// ones (§V-B).
+package nodemanager
+
+import (
+	"fmt"
+
+	"hyscale/internal/cluster"
+	"hyscale/internal/container"
+	"hyscale/internal/resources"
+)
+
+// ContainerStats is the per-container usage aggregate an NM reports to the
+// Monitor.
+type ContainerStats struct {
+	ID      string
+	Service string
+	// Requested is the container's current allocation.
+	Requested resources.Vector
+	// Usage is the mean measured usage since the previous report.
+	Usage resources.Vector
+	// Routable reports whether the container is Running.
+	Routable bool
+}
+
+// Report is one NM's answer to a Monitor stats query.
+type Report struct {
+	NodeID     string
+	Capacity   resources.Vector
+	Available  resources.Vector
+	Containers []ContainerStats
+}
+
+// Manager is the node-local agent.
+type Manager struct {
+	node *cluster.Node
+
+	// samples accumulates per-container usage sums and counts between
+	// reports.
+	sums   map[string]resources.Vector
+	counts map[string]int
+}
+
+// New attaches a manager to its node.
+func New(node *cluster.Node) *Manager {
+	return &Manager{
+		node:   node,
+		sums:   make(map[string]resources.Vector),
+		counts: make(map[string]int),
+	}
+}
+
+// NodeID returns the managed node's ID.
+func (m *Manager) NodeID() string { return m.node.ID() }
+
+// Sample records each hosted container's latest usage (what one `docker
+// stats` poll would observe). Call once per physics tick.
+func (m *Manager) Sample() {
+	for _, c := range m.node.Containers() {
+		if c.State != container.StateRunning {
+			continue
+		}
+		u := c.LastUsage()
+		m.sums[c.ID] = m.sums[c.ID].Add(resources.Vector{CPU: u.CPU, MemMB: u.MemMB, NetMbps: u.NetMbps})
+		m.counts[c.ID]++
+	}
+}
+
+// Report aggregates the samples since the previous report and resets the
+// window. Containers that produced no samples yet (e.g. still starting)
+// report zero usage.
+func (m *Manager) Report() Report {
+	rep := Report{
+		NodeID:    m.node.ID(),
+		Capacity:  m.node.Capacity(),
+		Available: m.node.Available(),
+	}
+	for _, c := range m.node.Containers() {
+		var usage resources.Vector
+		if n := m.counts[c.ID]; n > 0 {
+			usage = m.sums[c.ID].Scale(1 / float64(n))
+		}
+		rep.Containers = append(rep.Containers, ContainerStats{
+			ID:        c.ID,
+			Service:   c.Service,
+			Requested: c.Alloc,
+			Usage:     usage,
+			Routable:  c.Routable(),
+		})
+	}
+	m.sums = make(map[string]resources.Vector)
+	m.counts = make(map[string]int)
+	return rep
+}
+
+// ApplyVertical executes a `docker update` on a hosted container.
+func (m *Manager) ApplyVertical(containerID string, alloc resources.Vector) error {
+	c := m.node.Container(containerID)
+	if c == nil {
+		return fmt.Errorf("nodemanager %s: unknown container %q", m.node.ID(), containerID)
+	}
+	return c.Update(alloc)
+}
+
+// Liveness reports the number of live (non-removed) containers; the paper's
+// NMs check microservice liveness for the Monitor.
+func (m *Manager) Liveness() int {
+	n := 0
+	for _, c := range m.node.Containers() {
+		if c.State != container.StateRemoved {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,132 @@
+package nodemanager
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"hyscale/internal/cluster"
+	"hyscale/internal/container"
+	"hyscale/internal/resources"
+	"hyscale/internal/workload"
+)
+
+func spec() workload.ServiceSpec {
+	return workload.ServiceSpec{
+		Name: "svc", Kind: workload.KindCPUBound,
+		CPUPerRequest: 1.0, MemPerRequest: 10, BaselineMemMB: 50,
+		InitialReplicaCPU: 1, InitialReplicaMemMB: 256,
+		MinReplicas: 1, MaxReplicas: 4, Timeout: 30 * time.Second,
+	}
+}
+
+func setup(t *testing.T) (*cluster.Node, *Manager, *container.Container) {
+	t.Helper()
+	n, err := cluster.NewNode(cluster.DefaultNodeConfig("node-0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := container.New("c-0", spec(), "node-0", resources.Vector{CPU: 2, MemMB: 512}, 0)
+	c.MaybeStart(0)
+	if err := n.AddContainer(c); err != nil {
+		t.Fatal(err)
+	}
+	return n, New(n), c
+}
+
+func TestReportAveragesSamples(t *testing.T) {
+	_, nm, c := setup(t)
+
+	c.SetLastUsage(container.Usage{CPU: 1.0, MemMB: 100, NetMbps: 10})
+	nm.Sample()
+	c.SetLastUsage(container.Usage{CPU: 2.0, MemMB: 200, NetMbps: 30})
+	nm.Sample()
+
+	rep := nm.Report()
+	if rep.NodeID != "node-0" {
+		t.Errorf("NodeID = %q", rep.NodeID)
+	}
+	if len(rep.Containers) != 1 {
+		t.Fatalf("containers = %d, want 1", len(rep.Containers))
+	}
+	cs := rep.Containers[0]
+	if math.Abs(cs.Usage.CPU-1.5) > 1e-9 || math.Abs(cs.Usage.MemMB-150) > 1e-9 || math.Abs(cs.Usage.NetMbps-20) > 1e-9 {
+		t.Errorf("averaged usage = %v", cs.Usage)
+	}
+	if cs.Requested.CPU != 2 {
+		t.Errorf("requested = %v", cs.Requested)
+	}
+	if !cs.Routable {
+		t.Error("running container reported unroutable")
+	}
+}
+
+func TestReportResetsWindow(t *testing.T) {
+	_, nm, c := setup(t)
+	c.SetLastUsage(container.Usage{CPU: 4})
+	nm.Sample()
+	_ = nm.Report()
+
+	// New window: no samples -> zero usage.
+	rep := nm.Report()
+	if rep.Containers[0].Usage.CPU != 0 {
+		t.Errorf("window not reset: %v", rep.Containers[0].Usage)
+	}
+}
+
+func TestReportIncludesCapacityAndAvailability(t *testing.T) {
+	_, nm, _ := setup(t)
+	rep := nm.Report()
+	if rep.Capacity.CPU != 4 {
+		t.Errorf("capacity = %v", rep.Capacity)
+	}
+	if rep.Available.CPU != 2 { // 4 - 2 allocated
+		t.Errorf("available = %v", rep.Available)
+	}
+}
+
+func TestStartingContainersNotSampled(t *testing.T) {
+	n, _, _ := setup(t)
+	nm := New(n)
+	starting := container.New("c-1", spec(), "node-0", resources.Vector{CPU: 1, MemMB: 256}, time.Hour)
+	_ = n.AddContainer(starting)
+	nm.Sample()
+	rep := nm.Report()
+	for _, cs := range rep.Containers {
+		if cs.ID == "c-1" {
+			if cs.Routable {
+				t.Error("starting container reported routable")
+			}
+			if cs.Usage.CPU != 0 {
+				t.Error("starting container has usage")
+			}
+		}
+	}
+}
+
+func TestApplyVertical(t *testing.T) {
+	_, nm, c := setup(t)
+	if err := nm.ApplyVertical("c-0", resources.Vector{CPU: 3, MemMB: 1024}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Alloc.CPU != 3 || c.Alloc.MemMB != 1024 {
+		t.Errorf("alloc = %v after update", c.Alloc)
+	}
+	if err := nm.ApplyVertical("nope", resources.Vector{CPU: 1}); err == nil {
+		t.Error("unknown container accepted")
+	}
+	if err := nm.ApplyVertical("c-0", resources.Vector{CPU: -1}); err == nil {
+		t.Error("negative allocation accepted")
+	}
+}
+
+func TestLiveness(t *testing.T) {
+	n, nm, _ := setup(t)
+	if nm.Liveness() != 1 {
+		t.Errorf("liveness = %d, want 1", nm.Liveness())
+	}
+	n.RemoveContainer("c-0")
+	if nm.Liveness() != 0 {
+		t.Errorf("liveness = %d, want 0", nm.Liveness())
+	}
+}

@@ -1,0 +1,391 @@
+// Package platform assembles the full autoscaler platform of §V — cluster,
+// node managers, Monitor, load balancers, client load generators and metrics
+// — into a single runnable World driven by the discrete-event engine. Every
+// experiment and example in this repository is a World configuration.
+package platform
+
+import (
+	"fmt"
+	"time"
+
+	"hyscale/internal/cluster"
+	"hyscale/internal/container"
+	"hyscale/internal/core"
+	"hyscale/internal/cost"
+	"hyscale/internal/lb"
+	"hyscale/internal/loadgen"
+	"hyscale/internal/metrics"
+	"hyscale/internal/monitor"
+	"hyscale/internal/resources"
+	"hyscale/internal/sim"
+	"hyscale/internal/workload"
+)
+
+// Config parameterises a World. The zero value is not usable; start from
+// DefaultConfig.
+type Config struct {
+	// Seed drives all randomness (Poisson arrivals).
+	Seed int64
+	// Nodes is the number of worker machines.
+	Nodes int
+	// NodeTemplate shapes every machine (ID is overwritten).
+	NodeTemplate cluster.NodeConfig
+	// Tick is the physics timestep.
+	Tick time.Duration
+	// MonitorPeriod is the stats-query/decision period (paper: 5 s).
+	MonitorPeriod time.Duration
+	// StartDelay is container start latency for scale-outs.
+	StartDelay time.Duration
+	// LBPolicy selects the load-balancer routing policy.
+	LBPolicy lb.Policy
+	// DistributionOverhead is the per-log2(replicas) latency the balancer
+	// charges (§III-A). Zero disables it.
+	DistributionOverhead time.Duration
+	// BaseLatency is the constant per-request cost every request pays
+	// regardless of scaling decisions: the LB proxy hop, connection setup
+	// and network round trip inside the data centre.
+	BaseLatency time.Duration
+	// PoissonArrivals randomises per-tick arrival counts.
+	PoissonArrivals bool
+	// Cost prices the run (machine-hours + SLA penalties); see the cost
+	// package. The default uses cost.DefaultConfig.
+	Cost cost.Config
+}
+
+// DefaultConfig mirrors the paper's experimental setup: 24 nodes minus the
+// five LB nodes leaves 19 workers; 4-core/8 GiB machines; 5 s monitor
+// period.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:                 seed,
+		Nodes:                19,
+		NodeTemplate:         cluster.DefaultNodeConfig(""),
+		Tick:                 100 * time.Millisecond,
+		MonitorPeriod:        5 * time.Second,
+		StartDelay:           time.Second,
+		LBPolicy:             lb.LeastOutstanding,
+		DistributionOverhead: 25 * time.Millisecond,
+		BaseLatency:          75 * time.Millisecond,
+		PoissonArrivals:      false,
+		Cost:                 cost.DefaultConfig(),
+	}
+}
+
+// serviceRuntime couples a service with its load generator.
+type serviceRuntime struct {
+	spec workload.ServiceSpec
+	gen  *loadgen.Generator
+}
+
+// World is one fully-wired experiment instance.
+type World struct {
+	cfg     Config
+	engine  *sim.Engine
+	cluster *cluster.Cluster
+	monitor *monitor.Monitor
+	lb      *lb.Balancer
+
+	services []*serviceRuntime
+	byName   map[string]*serviceRuntime
+	ids      loadgen.IDAllocator
+
+	recorder *metrics.Recorder
+	costs    *cost.Tracker
+
+	// ReplicaSeries records per-service replica counts at each monitor
+	// poll, for the resource-efficiency analyses.
+	ReplicaSeries map[string]*metrics.TimeSeries
+	// UtilSeries records cluster-wide CPU usage fraction per poll.
+	UtilSeries *metrics.TimeSeries
+
+	stressIdx int
+	started   bool
+}
+
+// New builds a world. algo may be nil for experiments with no autoscaler
+// (the §III fixed-allocation microbenchmarks).
+func New(cfg Config, algo core.Algorithm) (*World, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("platform: need at least one node")
+	}
+	if cfg.Tick <= 0 {
+		return nil, fmt.Errorf("platform: tick must be positive")
+	}
+	cl, err := cluster.NewHomogeneous(cfg.Nodes, cfg.NodeTemplate)
+	if err != nil {
+		return nil, err
+	}
+	w := &World{
+		cfg:           cfg,
+		engine:        sim.New(cfg.Seed),
+		cluster:       cl,
+		lb:            lb.New(cfg.LBPolicy),
+		byName:        make(map[string]*serviceRuntime),
+		recorder:      metrics.NewRecorder(),
+		costs:         cost.NewTracker(cfg.Cost),
+		ReplicaSeries: make(map[string]*metrics.TimeSeries),
+		UtilSeries:    &metrics.TimeSeries{Name: "cluster-cpu-util"},
+	}
+	w.lb.DistributionOverhead = cfg.DistributionOverhead
+	if algo != nil {
+		w.monitor = monitor.New(cl, algo)
+	} else {
+		w.monitor = monitor.New(cl, noopAlgorithm{})
+	}
+	w.monitor.StartDelay = cfg.StartDelay
+	w.monitor.OnRemovalFailure = func(r *workload.Request) {
+		w.recorder.RecordFailure(r.Service, workload.FailureRemoval)
+		w.costs.ObserveFailure()
+	}
+	return w, nil
+}
+
+// noopAlgorithm never scales; it stands in when experiments drive
+// allocations manually.
+type noopAlgorithm struct{}
+
+func (noopAlgorithm) Name() string                   { return "static" }
+func (noopAlgorithm) Decide(core.Snapshot) core.Plan { return core.Plan{} }
+
+// Engine exposes the simulation engine (for custom scheduled events).
+func (w *World) Engine() *sim.Engine { return w.engine }
+
+// Cluster exposes the cluster (for assertions in tests).
+func (w *World) Cluster() *cluster.Cluster { return w.cluster }
+
+// Monitor exposes the central arbiter.
+func (w *World) Monitor() *monitor.Monitor { return w.monitor }
+
+// Recorder exposes the metrics recorder.
+func (w *World) Recorder() *metrics.Recorder { return w.recorder }
+
+// AddService registers a microservice with its utilization target and load
+// pattern, and deploys its minimum replicas.
+func (w *World) AddService(spec workload.ServiceSpec, targetUtil float64, pattern loadgen.Pattern) error {
+	if err := w.monitor.AddService(spec, targetUtil); err != nil {
+		return err
+	}
+	rt := &serviceRuntime{spec: spec}
+	if pattern != nil {
+		rt.gen = loadgen.NewGenerator(spec, pattern, &w.ids)
+		rt.gen.Poisson = w.cfg.PoissonArrivals
+	}
+	w.services = append(w.services, rt)
+	w.byName[spec.Name] = rt
+	w.ReplicaSeries[spec.Name] = &metrics.TimeSeries{Name: spec.Name + "-replicas"}
+	if err := w.monitor.DeployInitial(spec.Name, w.engine.Now()); err != nil {
+		return err
+	}
+	return nil
+}
+
+// DeployReplica pins one replica of service to a node with an explicit
+// allocation — the §III microbenchmarks use this instead of the autoscaler.
+func (w *World) DeployReplica(service, nodeID string, alloc resources.Vector) error {
+	return w.monitor.StartReplica(service, nodeID, alloc, w.engine.Now())
+}
+
+// AddStressContainer places a stress contender (the paper's progrium-stress
+// or network-hog container) on a node. cpuDemand is in cores; netFlows is
+// the number of flooding egress flows (0 for none).
+func (w *World) AddStressContainer(nodeID string, alloc resources.Vector, cpuDemand float64, netFlows int) error {
+	n := w.cluster.Node(nodeID)
+	if n == nil {
+		return fmt.Errorf("platform: unknown node %q", nodeID)
+	}
+	w.stressIdx++
+	spec := workload.ServiceSpec{
+		Name: fmt.Sprintf("stress-%d", w.stressIdx), Kind: workload.KindCPUBound,
+		InitialReplicaCPU: 1, InitialReplicaMemMB: 64,
+		MinReplicas: 1, MaxReplicas: 1, Timeout: time.Hour,
+	}
+	c := container.New(spec.Name, spec, nodeID, alloc, 0)
+	c.StressCPUDemand = cpuDemand
+	c.StressNetFlows = netFlows
+	c.MaybeStart(0)
+	return n.AddContainer(c)
+}
+
+// InjectRequests schedules n requests for the service arriving uniformly
+// over the window starting at 'at' — used by the fixed-count (§III)
+// microbenchmarks.
+func (w *World) InjectRequests(at time.Duration, window time.Duration, service string, n int) error {
+	rt, ok := w.byName[service]
+	if !ok {
+		return fmt.Errorf("platform: unknown service %q", service)
+	}
+	if n <= 0 {
+		return nil
+	}
+	if window <= 0 {
+		window = w.cfg.Tick
+	}
+	for i := 0; i < n; i++ {
+		arrive := at + time.Duration(float64(window)*float64(i)/float64(n))
+		req := workload.NewRequest(w.ids.Next(), rt.spec, arrive)
+		if err := w.engine.Schedule(arrive, func(e *sim.Engine) {
+			w.route(req)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// route sends one request through the load balancer.
+func (w *World) route(req *workload.Request) {
+	req.ExtraLatency += w.cfg.BaseLatency
+	replicas := w.monitor.Replicas(req.Service)
+	target, err := w.lb.Route(req, replicas)
+	if err != nil {
+		w.recorder.RecordFailure(req.Service, workload.FailureConnection)
+		w.costs.ObserveFailure()
+		return
+	}
+	target.Enqueue(req)
+}
+
+// tick runs one physics step: generate arrivals, advance the cluster,
+// record completions/timeouts, sample node stats.
+func (w *World) tick(e *sim.Engine) {
+	now := e.Now()
+	dt := w.cfg.Tick
+
+	for _, rt := range w.services {
+		if rt.gen == nil {
+			continue
+		}
+		for _, req := range rt.gen.Arrivals(now, dt, e.Rand()) {
+			w.route(req)
+		}
+	}
+
+	res := w.cluster.Advance(now, dt)
+	for _, done := range res.Completed {
+		r := done.Request
+		latency := done.At - r.Arrival + r.ExtraLatency
+		if latency < 0 {
+			latency = 0
+		}
+		w.recorder.RecordCompletion(r.Service, latency)
+		w.costs.ObserveCompletion(latency)
+	}
+	for _, r := range res.TimedOut {
+		w.recorder.RecordFailure(r.Service, workload.FailureConnection)
+		w.costs.ObserveFailure()
+	}
+
+	// Machines hosting at least one container count as powered; idle ones
+	// are assumed reclaimable (§I's power argument).
+	active := 0
+	for _, n := range w.cluster.Nodes() {
+		if len(n.Containers()) > 0 {
+			active++
+		}
+	}
+	w.costs.ObserveMachines(active, dt)
+
+	w.monitor.Sample()
+}
+
+// poll runs one Monitor decision period and records bookkeeping series.
+func (w *World) poll(e *sim.Engine) {
+	now := e.Now()
+	w.monitor.Poll(now)
+
+	var usedCPU, capCPU float64
+	for _, n := range w.cluster.Nodes() {
+		capCPU += n.Capacity().CPU
+		for _, c := range n.Containers() {
+			usedCPU += c.LastUsage().CPU
+		}
+	}
+	if capCPU > 0 {
+		w.UtilSeries.Append(now, usedCPU/capCPU)
+	}
+	for name, ts := range w.ReplicaSeries {
+		ts.Append(now, float64(len(w.monitor.Replicas(name))))
+	}
+}
+
+// Run simulates until the horizon (absolute simulated time). It may be
+// called repeatedly to step the world forward incrementally; the periodic
+// physics and monitor tasks are scheduled exactly once.
+func (w *World) Run(horizon time.Duration) error {
+	if !w.started {
+		if err := w.engine.SchedulePeriodic(w.cfg.Tick, w.cfg.Tick, w.tick); err != nil {
+			return err
+		}
+		if w.cfg.MonitorPeriod > 0 {
+			if err := w.engine.SchedulePeriodic(w.cfg.MonitorPeriod, w.cfg.MonitorPeriod, w.poll); err != nil {
+				return err
+			}
+		}
+		w.started = true
+	}
+	return w.engine.Run(horizon)
+}
+
+// RunUntilDrained keeps ticking past the horizon until no requests remain in
+// flight (or maxExtra elapses) — fixed-count microbenchmarks use this so
+// every injected request resolves.
+func (w *World) RunUntilDrained(horizon, maxExtra time.Duration) error {
+	if err := w.Run(horizon); err != nil {
+		return err
+	}
+	deadline := horizon + maxExtra
+	for w.engine.Now() < deadline {
+		if w.inflight() == 0 {
+			return nil
+		}
+		if err := w.engine.Run(w.engine.Now() + 10*w.cfg.Tick); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *World) inflight() int {
+	n := 0
+	for _, node := range w.cluster.Nodes() {
+		for _, c := range node.Containers() {
+			n += c.Inflight()
+		}
+	}
+	return n
+}
+
+// Summary returns the aggregate user-perceived performance report.
+func (w *World) Summary() metrics.Summary { return w.recorder.Summarize() }
+
+// CostReport prices the run so far (machine-hours + SLA penalties).
+func (w *World) CostReport() cost.Report { return w.costs.Report() }
+
+// ScheduleNodeFailure schedules machine nodeID to fail at the given
+// simulated time: every container on it dies (in-flight requests are
+// recorded as removal failures) and the Monitor stops querying it. Used by
+// the availability-under-churn experiments.
+func (w *World) ScheduleNodeFailure(at time.Duration, nodeID string) error {
+	return w.engine.Schedule(at, func(e *sim.Engine) {
+		killed, err := w.cluster.RemoveNode(nodeID)
+		if err != nil {
+			return // already gone
+		}
+		w.monitor.DetachNode(nodeID)
+		for _, r := range killed {
+			w.recorder.RecordFailure(r.Service, workload.FailureRemoval)
+			w.costs.ObserveFailure()
+		}
+	})
+}
+
+// ScheduleNodeRecovery schedules a fresh machine to join the cluster at the
+// given simulated time (the paper's dynamic machine-addition future work).
+func (w *World) ScheduleNodeRecovery(at time.Duration, cfg cluster.NodeConfig) error {
+	return w.engine.Schedule(at, func(e *sim.Engine) {
+		if err := w.cluster.AddNode(cfg); err != nil {
+			return // duplicate ID
+		}
+		w.monitor.AttachNode(w.cluster.Node(cfg.ID))
+	})
+}

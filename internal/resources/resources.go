@@ -1,0 +1,89 @@
+// Package resources defines the resource vector used throughout the
+// simulator: CPU in fractional cores, memory in MiB and network bandwidth in
+// Mbps. These are the three dimensions the HyScale paper scales (CPU shares,
+// memory limits, tc egress bandwidth).
+package resources
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a point in the three-dimensional resource space. The zero value
+// means "no resources". All fields are non-negative by convention; use
+// ClampNonNegative after subtraction when a floor at zero is required.
+type Vector struct {
+	// CPU is measured in fractional cores (1.0 == one full core).
+	CPU float64
+	// MemMB is measured in MiB.
+	MemMB float64
+	// NetMbps is egress network bandwidth in megabits per second.
+	NetMbps float64
+}
+
+// Add returns v + o component-wise.
+func (v Vector) Add(o Vector) Vector {
+	return Vector{CPU: v.CPU + o.CPU, MemMB: v.MemMB + o.MemMB, NetMbps: v.NetMbps + o.NetMbps}
+}
+
+// Sub returns v - o component-wise. The result may have negative components;
+// callers that need a floor should chain ClampNonNegative.
+func (v Vector) Sub(o Vector) Vector {
+	return Vector{CPU: v.CPU - o.CPU, MemMB: v.MemMB - o.MemMB, NetMbps: v.NetMbps - o.NetMbps}
+}
+
+// Scale returns v with every component multiplied by k.
+func (v Vector) Scale(k float64) Vector {
+	return Vector{CPU: v.CPU * k, MemMB: v.MemMB * k, NetMbps: v.NetMbps * k}
+}
+
+// ClampNonNegative returns v with negative components replaced by zero.
+func (v Vector) ClampNonNegative() Vector {
+	return Vector{
+		CPU:     math.Max(0, v.CPU),
+		MemMB:   math.Max(0, v.MemMB),
+		NetMbps: math.Max(0, v.NetMbps),
+	}
+}
+
+// Min returns the component-wise minimum of v and o.
+func (v Vector) Min(o Vector) Vector {
+	return Vector{
+		CPU:     math.Min(v.CPU, o.CPU),
+		MemMB:   math.Min(v.MemMB, o.MemMB),
+		NetMbps: math.Min(v.NetMbps, o.NetMbps),
+	}
+}
+
+// Max returns the component-wise maximum of v and o.
+func (v Vector) Max(o Vector) Vector {
+	return Vector{
+		CPU:     math.Max(v.CPU, o.CPU),
+		MemMB:   math.Max(v.MemMB, o.MemMB),
+		NetMbps: math.Max(v.NetMbps, o.NetMbps),
+	}
+}
+
+// FitsIn reports whether every component of v is less than or equal to the
+// corresponding component of o (within a small epsilon to absorb float
+// accumulation error).
+func (v Vector) FitsIn(o Vector) bool {
+	const eps = 1e-9
+	return v.CPU <= o.CPU+eps && v.MemMB <= o.MemMB+eps && v.NetMbps <= o.NetMbps+eps
+}
+
+// IsZero reports whether all components are exactly zero.
+func (v Vector) IsZero() bool {
+	return v.CPU == 0 && v.MemMB == 0 && v.NetMbps == 0
+}
+
+// NonNegative reports whether no component is negative (within epsilon).
+func (v Vector) NonNegative() bool {
+	const eps = 1e-9
+	return v.CPU >= -eps && v.MemMB >= -eps && v.NetMbps >= -eps
+}
+
+// String implements fmt.Stringer with a compact human-readable form.
+func (v Vector) String() string {
+	return fmt.Sprintf("{cpu=%.3f mem=%.1fMB net=%.1fMbps}", v.CPU, v.MemMB, v.NetMbps)
+}

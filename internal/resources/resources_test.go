@@ -1,0 +1,165 @@
+package resources
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddSub(t *testing.T) {
+	a := Vector{CPU: 1, MemMB: 100, NetMbps: 10}
+	b := Vector{CPU: 0.5, MemMB: 50, NetMbps: 5}
+
+	got := a.Add(b)
+	want := Vector{CPU: 1.5, MemMB: 150, NetMbps: 15}
+	if got != want {
+		t.Errorf("Add = %v, want %v", got, want)
+	}
+
+	got = a.Sub(b)
+	want = Vector{CPU: 0.5, MemMB: 50, NetMbps: 5}
+	if got != want {
+		t.Errorf("Sub = %v, want %v", got, want)
+	}
+}
+
+func TestSubMayGoNegative(t *testing.T) {
+	a := Vector{CPU: 1}
+	b := Vector{CPU: 2, MemMB: 10}
+	got := a.Sub(b)
+	if got.CPU != -1 || got.MemMB != -10 {
+		t.Errorf("Sub = %v, want {-1 -10 0}", got)
+	}
+	if got.NonNegative() {
+		t.Error("NonNegative() = true for negative vector")
+	}
+}
+
+func TestScale(t *testing.T) {
+	v := Vector{CPU: 2, MemMB: 10, NetMbps: 4}
+	got := v.Scale(0.5)
+	want := Vector{CPU: 1, MemMB: 5, NetMbps: 2}
+	if got != want {
+		t.Errorf("Scale(0.5) = %v, want %v", got, want)
+	}
+}
+
+func TestClampNonNegative(t *testing.T) {
+	v := Vector{CPU: -1, MemMB: 5, NetMbps: -0.001}
+	got := v.ClampNonNegative()
+	want := Vector{CPU: 0, MemMB: 5, NetMbps: 0}
+	if got != want {
+		t.Errorf("ClampNonNegative = %v, want %v", got, want)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	a := Vector{CPU: 1, MemMB: 200, NetMbps: 3}
+	b := Vector{CPU: 2, MemMB: 100, NetMbps: 3}
+	if got := a.Min(b); got != (Vector{CPU: 1, MemMB: 100, NetMbps: 3}) {
+		t.Errorf("Min = %v", got)
+	}
+	if got := a.Max(b); got != (Vector{CPU: 2, MemMB: 200, NetMbps: 3}) {
+		t.Errorf("Max = %v", got)
+	}
+}
+
+func TestFitsIn(t *testing.T) {
+	tests := []struct {
+		name string
+		v, o Vector
+		want bool
+	}{
+		{"equal", Vector{CPU: 1, MemMB: 1, NetMbps: 1}, Vector{CPU: 1, MemMB: 1, NetMbps: 1}, true},
+		{"smaller", Vector{CPU: 0.5}, Vector{CPU: 1, MemMB: 1}, true},
+		{"cpu too big", Vector{CPU: 2}, Vector{CPU: 1, MemMB: 10}, false},
+		{"mem too big", Vector{MemMB: 11}, Vector{CPU: 1, MemMB: 10}, false},
+		{"net too big", Vector{NetMbps: 1}, Vector{CPU: 1, MemMB: 10}, false},
+		{"epsilon slack", Vector{CPU: 1 + 1e-12}, Vector{CPU: 1}, true},
+		{"zero fits zero", Vector{}, Vector{}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.v.FitsIn(tt.o); got != tt.want {
+				t.Errorf("FitsIn = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !(Vector{}).IsZero() {
+		t.Error("zero vector should be zero")
+	}
+	if (Vector{CPU: 0.001}).IsZero() {
+		t.Error("non-zero vector reported zero")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := Vector{CPU: 1.5, MemMB: 512, NetMbps: 100}.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+// sane filters out the extreme magnitudes quick generates by default, which
+// overflow float64 arithmetic and are meaningless as resource amounts.
+func sane(vs ...Vector) bool {
+	for _, v := range vs {
+		if anyNaN(v) || math.Abs(v.CPU) > 1e12 || math.Abs(v.MemMB) > 1e12 || math.Abs(v.NetMbps) > 1e12 {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: Add then Sub round-trips.
+func TestQuickAddSubInverse(t *testing.T) {
+	f := func(a, b Vector) bool {
+		if !sane(a, b) {
+			return true
+		}
+		got := a.Add(b).Sub(b)
+		const eps = 1e-6
+		return math.Abs(got.CPU-a.CPU) < eps+math.Abs(a.CPU)*eps &&
+			math.Abs(got.MemMB-a.MemMB) < eps+math.Abs(a.MemMB)*eps &&
+			math.Abs(got.NetMbps-a.NetMbps) < eps+math.Abs(a.NetMbps)*eps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ClampNonNegative always yields a non-negative vector that fits
+// no worse than the original.
+func TestQuickClampNonNegative(t *testing.T) {
+	f := func(v Vector) bool {
+		if !sane(v) {
+			return true
+		}
+		c := v.ClampNonNegative()
+		return c.NonNegative() && c.CPU >= v.CPU-1e-9 && c.MemMB >= v.MemMB-1e-9 && c.NetMbps >= v.NetMbps-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Min fits in both arguments (for finite non-NaN inputs).
+func TestQuickMinFits(t *testing.T) {
+	f := func(a, b Vector) bool {
+		if anyNaN(a) || anyNaN(b) {
+			return true
+		}
+		m := a.Min(b)
+		return m.FitsIn(a) && m.FitsIn(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func anyNaN(v Vector) bool {
+	return math.IsNaN(v.CPU) || math.IsNaN(v.MemMB) || math.IsNaN(v.NetMbps)
+}

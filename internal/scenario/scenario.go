@@ -1,0 +1,376 @@
+// Package scenario provides a declarative JSON format for describing a
+// complete autoscaling experiment — cluster shape, algorithm, microservices,
+// load patterns and fault injections — so users can run custom scenarios
+// with cmd/hyscale-sim without writing Go.
+//
+// A minimal scenario:
+//
+//	{
+//	  "seed": 1,
+//	  "nodes": 19,
+//	  "algorithm": "hybridmem",
+//	  "duration": "20m",
+//	  "services": [
+//	    {
+//	      "name": "api", "kind": "cpu",
+//	      "cpuPerRequest": 0.12, "targetUtil": 0.5,
+//	      "load": {"type": "wave", "base": 15, "amplitude": 0.3, "period": "8m"}
+//	    }
+//	  ]
+//	}
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"hyscale/internal/core"
+	"hyscale/internal/loadgen"
+	"hyscale/internal/platform"
+	"hyscale/internal/workload"
+)
+
+// Duration wraps time.Duration with JSON support for "90s"/"20m" strings.
+type Duration time.Duration
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("scenario: duration must be a string like \"30s\": %w", err)
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil {
+		return fmt.Errorf("scenario: bad duration %q: %w", s, err)
+	}
+	*d = Duration(v)
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// Load describes an arrival pattern.
+type Load struct {
+	// Type is one of constant|wave|burst|ramp|diurnal|flashcrowd.
+	Type string `json:"type"`
+	// Base is the base rate in requests/second (constant rate for
+	// "constant", start rate for "ramp").
+	Base float64 `json:"base"`
+	// Peak is the burst/flash-crowd peak or ramp end rate.
+	Peak float64 `json:"peak,omitempty"`
+	// Amplitude is the relative swing for wave/diurnal.
+	Amplitude float64 `json:"amplitude,omitempty"`
+	// Period is the wave/burst cycle.
+	Period Duration `json:"period,omitempty"`
+	// BurstLen is the burst duration within each period.
+	BurstLen Duration `json:"burstLen,omitempty"`
+	// Phase shifts the pattern.
+	Phase Duration `json:"phase,omitempty"`
+	// RampUp is the ramp/flash-crowd rise time.
+	RampUp Duration `json:"rampUp,omitempty"`
+	// Start is the flash-crowd start time.
+	Start Duration `json:"start,omitempty"`
+	// Hold is the flash-crowd plateau.
+	Hold Duration `json:"hold,omitempty"`
+}
+
+// Pattern materialises the load description.
+func (l Load) Pattern() (loadgen.Pattern, error) {
+	switch l.Type {
+	case "constant":
+		return loadgen.Constant{RPS: l.Base}, nil
+	case "wave":
+		return loadgen.Wave{Base: l.Base, Amplitude: l.Amplitude,
+			Period: time.Duration(l.Period), PhaseShift: time.Duration(l.Phase)}, nil
+	case "burst":
+		return loadgen.Burst{Base: l.Base, Peak: l.Peak,
+			Period: time.Duration(l.Period), BurstLen: time.Duration(l.BurstLen),
+			PhaseShift: time.Duration(l.Phase)}, nil
+	case "ramp":
+		return loadgen.Ramp{Start: l.Base, End: l.Peak, Duration: time.Duration(l.RampUp)}, nil
+	case "diurnal":
+		return loadgen.Diurnal{Base: l.Base, DayAmplitude: l.Amplitude,
+			Day: time.Duration(l.Period)}, nil
+	case "flashcrowd":
+		return loadgen.FlashCrowd{Base: l.Base, Peak: l.Peak,
+			Start: time.Duration(l.Start), RampUp: time.Duration(l.RampUp),
+			Hold: time.Duration(l.Hold), Decay: time.Duration(l.RampUp)}, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown load type %q", l.Type)
+	}
+}
+
+// Service describes one microservice. Zero-valued resource fields fall back
+// to kind-appropriate defaults.
+type Service struct {
+	Name string `json:"name"`
+	// Kind is one of cpu|mem|net|mixed.
+	Kind string `json:"kind"`
+
+	CPUPerRequest float64 `json:"cpuPerRequest,omitempty"`
+	MemPerRequest float64 `json:"memPerRequest,omitempty"`
+	NetPerRequest float64 `json:"netPerRequest,omitempty"`
+	BaselineMemMB float64 `json:"baselineMemMB,omitempty"`
+	BackgroundCPU float64 `json:"backgroundCPU,omitempty"`
+
+	InitialCPU     float64 `json:"initialCPU,omitempty"`
+	InitialMemMB   float64 `json:"initialMemMB,omitempty"`
+	InitialNetMbps float64 `json:"initialNetMbps,omitempty"`
+
+	MinReplicas int      `json:"minReplicas,omitempty"`
+	MaxReplicas int      `json:"maxReplicas,omitempty"`
+	Timeout     Duration `json:"timeout,omitempty"`
+	StateSyncMB float64  `json:"stateSyncMB,omitempty"`
+
+	TargetUtil float64 `json:"targetUtil,omitempty"`
+	Load       Load    `json:"load"`
+}
+
+// Spec materialises the service description with defaults filled in.
+func (s Service) Spec() (workload.ServiceSpec, error) {
+	var kind workload.Kind
+	switch s.Kind {
+	case "cpu":
+		kind = workload.KindCPUBound
+	case "mem":
+		kind = workload.KindMemoryBound
+	case "net":
+		kind = workload.KindNetworkBound
+	case "mixed":
+		kind = workload.KindMixed
+	default:
+		return workload.ServiceSpec{}, fmt.Errorf("scenario: service %q has unknown kind %q", s.Name, s.Kind)
+	}
+	spec := workload.ServiceSpec{
+		Name: s.Name, Kind: kind,
+		CPUPerRequest:         s.CPUPerRequest,
+		CPUOverheadPerRequest: 0.01,
+		MemPerRequest:         s.MemPerRequest,
+		NetPerRequest:         s.NetPerRequest,
+		BaselineMemMB:         s.BaselineMemMB,
+		BackgroundCPU:         s.BackgroundCPU,
+		InitialReplicaCPU:     s.InitialCPU,
+		InitialReplicaMemMB:   s.InitialMemMB,
+		InitialReplicaNetMbps: s.InitialNetMbps,
+		MinReplicas:           s.MinReplicas,
+		MaxReplicas:           s.MaxReplicas,
+		Timeout:               time.Duration(s.Timeout),
+		StateSyncMB:           s.StateSyncMB,
+	}
+	// Kind-appropriate defaults for the common fields.
+	if spec.CPUPerRequest == 0 {
+		switch kind {
+		case workload.KindNetworkBound:
+			spec.CPUPerRequest = 0.025
+		case workload.KindMemoryBound:
+			spec.CPUPerRequest = 0.02
+		default:
+			spec.CPUPerRequest = 0.12
+		}
+	}
+	if spec.MemPerRequest == 0 {
+		switch kind {
+		case workload.KindMemoryBound:
+			spec.MemPerRequest = 40
+		case workload.KindMixed:
+			spec.MemPerRequest = 90
+		default:
+			spec.MemPerRequest = 4
+		}
+	}
+	if kind == workload.KindNetworkBound && spec.NetPerRequest == 0 {
+		spec.NetPerRequest = 6
+	}
+	if spec.BaselineMemMB == 0 {
+		spec.BaselineMemMB = 300
+	}
+	if spec.InitialReplicaCPU == 0 {
+		spec.InitialReplicaCPU = 1
+	}
+	if spec.InitialReplicaMemMB == 0 {
+		if kind == workload.KindMixed {
+			spec.InitialReplicaMemMB = 640
+		} else {
+			spec.InitialReplicaMemMB = 768
+		}
+	}
+	if kind == workload.KindNetworkBound && spec.InitialReplicaNetMbps == 0 {
+		spec.InitialReplicaNetMbps = 50
+	}
+	if spec.MinReplicas == 0 {
+		spec.MinReplicas = 1
+	}
+	if spec.MaxReplicas == 0 {
+		spec.MaxReplicas = 10
+	}
+	if spec.Timeout == 0 {
+		spec.Timeout = 30 * time.Second
+	}
+	return spec, spec.Validate()
+}
+
+// NodeFailure schedules a machine failure.
+type NodeFailure struct {
+	Node string   `json:"node"`
+	At   Duration `json:"at"`
+}
+
+// Scenario is a complete experiment description.
+type Scenario struct {
+	Seed      int64   `json:"seed"`
+	Nodes     int     `json:"nodes"`
+	NodeCPU   float64 `json:"nodeCPU,omitempty"`
+	NodeMemMB float64 `json:"nodeMemMB,omitempty"`
+	// Algorithm is one of kubernetes|network|hybrid|hybridmem|none, with
+	// optional ablation suffixes for the hybrids.
+	Algorithm string `json:"algorithm"`
+	// MonitorPeriod overrides the 5s default.
+	MonitorPeriod Duration `json:"monitorPeriod,omitempty"`
+	// Duration is the simulated horizon.
+	Duration Duration `json:"duration"`
+
+	Services []Service     `json:"services"`
+	Failures []NodeFailure `json:"failures,omitempty"`
+}
+
+// Parse reads a scenario from JSON, rejecting unknown fields so typos
+// surface instead of silently doing nothing.
+func Parse(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var sc Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return &sc, nil
+}
+
+// Validate checks the scenario for structural problems.
+func (sc *Scenario) Validate() error {
+	if sc.Duration <= 0 {
+		return fmt.Errorf("scenario: duration must be positive")
+	}
+	if len(sc.Services) == 0 {
+		return fmt.Errorf("scenario: at least one service required")
+	}
+	seen := make(map[string]bool)
+	for _, s := range sc.Services {
+		if s.Name == "" {
+			return fmt.Errorf("scenario: service with empty name")
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("scenario: duplicate service %q", s.Name)
+		}
+		seen[s.Name] = true
+		if _, err := s.Spec(); err != nil {
+			return err
+		}
+		if _, err := s.Load.Pattern(); err != nil {
+			return fmt.Errorf("scenario: service %q: %w", s.Name, err)
+		}
+	}
+	return nil
+}
+
+// Build materialises the scenario into a runnable World.
+func (sc *Scenario) Build() (*platform.World, error) {
+	cfg := platform.DefaultConfig(sc.Seed)
+	if sc.Nodes > 0 {
+		cfg.Nodes = sc.Nodes
+	}
+	if sc.NodeCPU > 0 {
+		cfg.NodeTemplate.Capacity.CPU = sc.NodeCPU
+	}
+	if sc.NodeMemMB > 0 {
+		cfg.NodeTemplate.Capacity.MemMB = sc.NodeMemMB
+	}
+	if sc.MonitorPeriod > 0 {
+		cfg.MonitorPeriod = time.Duration(sc.MonitorPeriod)
+	}
+
+	var algo core.Algorithm
+	if sc.Algorithm != "" && sc.Algorithm != "none" {
+		var err error
+		algo, err = buildAlgorithm(sc.Algorithm)
+		if err != nil {
+			return nil, err
+		}
+	}
+	w, err := platform.New(cfg, algo)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range sc.Services {
+		spec, err := s.Spec()
+		if err != nil {
+			return nil, err
+		}
+		pattern, err := s.Load.Pattern()
+		if err != nil {
+			return nil, err
+		}
+		target := s.TargetUtil
+		if target == 0 {
+			target = 0.5
+		}
+		if err := w.AddService(spec, target, pattern); err != nil {
+			return nil, err
+		}
+	}
+	for _, f := range sc.Failures {
+		if err := w.ScheduleNodeFailure(time.Duration(f.At), f.Node); err != nil {
+			return nil, fmt.Errorf("scenario: scheduling failure of %q: %w", f.Node, err)
+		}
+	}
+	return w, nil
+}
+
+// buildAlgorithm mirrors the experiment harness' algorithm naming,
+// including ablation suffixes.
+func buildAlgorithm(name string) (core.Algorithm, error) {
+	cfg := core.DefaultConfig()
+	switch name {
+	case "kubernetes":
+		return core.NewKubernetes(cfg), nil
+	case "network":
+		return core.NewNetworkHPA(cfg), nil
+	case "hybrid":
+		return core.NewHyScaleCPU(cfg), nil
+	case "hybridmem":
+		return core.NewHyScaleCPUMem(cfg), nil
+	case "hybrid-noreclaim":
+		return core.NewHyScaleVariant(cfg, false, core.HyScaleOptions{DisableReclamation: true})
+	case "hybridmem-noreclaim":
+		return core.NewHyScaleVariant(cfg, true, core.HyScaleOptions{DisableReclamation: true})
+	case "hybrid-vertical-only":
+		return core.NewHyScaleVariant(cfg, false, core.HyScaleOptions{DisableHorizontal: true})
+	case "hybridmem-vertical-only":
+		return core.NewHyScaleVariant(cfg, true, core.HyScaleOptions{DisableHorizontal: true})
+	case "hybrid-horizontal-only":
+		return core.NewHyScaleVariant(cfg, false, core.HyScaleOptions{DisableVertical: true})
+	case "hybridmem-horizontal-only":
+		return core.NewHyScaleVariant(cfg, true, core.HyScaleOptions{DisableVertical: true})
+	default:
+		return nil, fmt.Errorf("scenario: unknown algorithm %q", name)
+	}
+}
+
+// Run builds and runs the scenario, returning the world for inspection.
+func (sc *Scenario) Run() (*platform.World, error) {
+	w, err := sc.Build()
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Run(time.Duration(sc.Duration)); err != nil {
+		return nil, err
+	}
+	return w, nil
+}

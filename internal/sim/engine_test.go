@@ -1,0 +1,213 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestEventsRunInTimestampOrder(t *testing.T) {
+	e := New(1)
+	var order []int
+	e.ScheduleAfter(3*time.Second, func(*Engine) { order = append(order, 3) })
+	e.ScheduleAfter(1*time.Second, func(*Engine) { order = append(order, 1) })
+	e.ScheduleAfter(2*time.Second, func(*Engine) { order = append(order, 2) })
+	if err := e.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSameInstantIsFIFO(t *testing.T) {
+	e := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.ScheduleAfter(time.Second, func(*Engine) { order = append(order, i) })
+	}
+	if err := e.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+}
+
+func TestClockAdvancesToEventTime(t *testing.T) {
+	e := New(1)
+	var at time.Duration
+	e.ScheduleAfter(5*time.Second, func(e *Engine) { at = e.Now() })
+	if err := e.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if at != 5*time.Second {
+		t.Errorf("event saw Now=%v, want 5s", at)
+	}
+	if e.Now() != time.Minute {
+		t.Errorf("after Run, Now=%v, want horizon 1m", e.Now())
+	}
+}
+
+func TestScheduleInPastClampsAndReports(t *testing.T) {
+	e := New(1)
+	var ran bool
+	e.ScheduleAfter(time.Second, func(e *Engine) {
+		if err := e.Schedule(0, func(*Engine) { ran = true }); err == nil {
+			t.Error("scheduling in the past should report an error")
+		}
+	})
+	if err := e.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("clamped event did not run")
+	}
+}
+
+func TestHorizonLeavesFutureEventsQueued(t *testing.T) {
+	e := New(1)
+	ran := false
+	e.ScheduleAfter(10*time.Second, func(*Engine) { ran = true })
+	if err := e.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("event beyond horizon ran")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	// Resuming past the event fires it.
+	if err := e.Run(15 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("event did not run on resumed Run")
+	}
+}
+
+func TestEventExactlyAtHorizonRuns(t *testing.T) {
+	e := New(1)
+	ran := false
+	e.ScheduleAfter(5*time.Second, func(*Engine) { ran = true })
+	if err := e.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("event at horizon did not run")
+	}
+}
+
+func TestPeriodicRunsAtInterval(t *testing.T) {
+	e := New(1)
+	var times []time.Duration
+	if err := e.SchedulePeriodic(time.Second, 2*time.Second, func(e *Engine) {
+		times = append(times, e.Now())
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(7 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{time.Second, 3 * time.Second, 5 * time.Second, 7 * time.Second}
+	if len(times) != len(want) {
+		t.Fatalf("got %v, want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("got %v, want %v", times, want)
+		}
+	}
+}
+
+func TestPeriodicRejectsNonPositiveInterval(t *testing.T) {
+	e := New(1)
+	if err := e.SchedulePeriodic(0, 0, func(*Engine) {}); err == nil {
+		t.Error("expected error for zero interval")
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := New(1)
+	count := 0
+	if err := e.SchedulePeriodic(time.Second, time.Second, func(e *Engine) {
+		count++
+		if count == 3 {
+			e.Stop()
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := e.Run(time.Minute)
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("Run = %v, want ErrStopped", err)
+	}
+	if count != 3 {
+		t.Errorf("count = %d, want 3", count)
+	}
+	// Stop from inside a periodic task cancels the series: resuming the
+	// engine does not revive it (documented SchedulePeriodic behaviour).
+	if err := e.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Errorf("periodic revived after Stop: count=%d", count)
+	}
+}
+
+func TestNegativeDelayClamps(t *testing.T) {
+	e := New(1)
+	ran := false
+	e.ScheduleAfter(-time.Second, func(*Engine) { ran = true })
+	if err := e.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("negative-delay event did not run")
+	}
+}
+
+func TestDeterministicRNG(t *testing.T) {
+	a, b := New(99), New(99)
+	for i := 0; i < 100; i++ {
+		if a.Rand().Float64() != b.Rand().Float64() {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+}
+
+func TestEventsCanScheduleFollowUps(t *testing.T) {
+	e := New(1)
+	depth := 0
+	var chain Event
+	chain = func(e *Engine) {
+		depth++
+		if depth < 5 {
+			e.ScheduleAfter(time.Second, chain)
+		}
+	}
+	e.ScheduleAfter(time.Second, chain)
+	if err := e.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if depth != 5 {
+		t.Errorf("depth = %d, want 5", depth)
+	}
+}
+
+func TestRunWithEmptyQueueAdvancesClock(t *testing.T) {
+	e := New(1)
+	if err := e.Run(42 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 42*time.Second {
+		t.Errorf("Now = %v, want 42s", e.Now())
+	}
+}

@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// RndConfig parameterises the synthetic Bitbrains-like generator. The
+// defaults mirror the `Rnd` dataset's documented shape: 500 VMs, 300 s
+// sampling, wave-like mixed CPU+memory load with bursty spikes.
+type RndConfig struct {
+	// Seed makes the trace reproducible.
+	Seed int64
+	// VMs is the number of series to generate (paper: 500).
+	VMs int
+	// Interval is the sampling period (GWA-T-12: 300 s).
+	Interval time.Duration
+	// Duration is the span each series covers.
+	Duration time.Duration
+
+	// BaseCPU and BaseMem are the mean usage levels (percent).
+	BaseCPU float64
+	BaseMem float64
+	// WaveAmplitude is the relative diurnal swing (0.5 = ±50 %).
+	WaveAmplitude float64
+	// WavePeriod is the diurnal cycle length.
+	WavePeriod time.Duration
+	// SpikeProb is the per-sample probability that a VM enters a burst.
+	SpikeProb float64
+	// SpikeBoost multiplies usage during a burst.
+	SpikeBoost float64
+	// Noise is the sample-to-sample Gaussian noise (percent, stddev).
+	Noise float64
+
+	// PhaseJitter is the per-VM deviation (radians) from the shared diurnal
+	// phase. Small values keep the across-VM average wave visible, the way
+	// tenant workloads correlate with the business day in the real trace.
+	PhaseJitter float64
+	// ClusterSpikeProb is the per-sample probability that a cluster-wide
+	// burst starts; individual VMs join it with probability 1/2. These
+	// correlated spikes are what give Fig. 9's average its bursty texture.
+	ClusterSpikeProb float64
+}
+
+// DefaultRndConfig returns a configuration shaped like the Bitbrains Rnd
+// trace compressed to a one-hour experiment (the paper rescaled the trace
+// to its cluster and experiment duration the same way).
+func DefaultRndConfig(seed int64) RndConfig {
+	return RndConfig{
+		Seed:             seed,
+		VMs:              500,
+		Interval:         30 * time.Second,
+		Duration:         time.Hour,
+		BaseCPU:          30,
+		BaseMem:          45,
+		WaveAmplitude:    0.45,
+		WavePeriod:       20 * time.Minute,
+		SpikeProb:        0.04,
+		SpikeBoost:       2.8,
+		Noise:            4,
+		PhaseJitter:      0.7,
+		ClusterSpikeProb: 0.03,
+	}
+}
+
+// GenerateRnd produces a synthetic trace with cfg's shape. Each VM gets a
+// random phase so the aggregate keeps visible waves plus spiky bursts, like
+// Fig. 9.
+func GenerateRnd(cfg RndConfig) *Trace {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := int(cfg.Duration / cfg.Interval)
+	if n < 1 {
+		n = 1
+	}
+
+	// Cluster-wide burst windows shared by half the VMs.
+	clusterBurst := make([]bool, n)
+	left := 0
+	for i := 0; i < n; i++ {
+		if left == 0 && rng.Float64() < cfg.ClusterSpikeProb {
+			left = 2 + rng.Intn(3)
+		}
+		if left > 0 {
+			clusterBurst[i] = true
+			left--
+		}
+	}
+
+	tr := &Trace{Interval: cfg.Interval}
+	for vm := 0; vm < cfg.VMs; vm++ {
+		s := Series{
+			Interval:   cfg.Interval,
+			CPUPercent: make([]float64, n),
+			MemPercent: make([]float64, n),
+		}
+		phase := rng.NormFloat64() * cfg.PhaseJitter
+		joinsClusterBursts := rng.Float64() < 0.5
+		// Per-VM scale: some VMs are hot, some idle (log-normal-ish skew as
+		// in real data-centre traces).
+		scale := math.Exp(rng.NormFloat64()*0.5 - 0.125)
+		burstLeft := 0
+		memLevel := cfg.BaseMem * scale * (0.8 + 0.4*rng.Float64())
+		for i := 0; i < n; i++ {
+			t := time.Duration(i) * cfg.Interval
+			wave := 1 + cfg.WaveAmplitude*math.Sin(2*math.Pi*float64(t)/float64(cfg.WavePeriod)+phase)
+			cpu := cfg.BaseCPU * scale * wave
+
+			if burstLeft == 0 && rng.Float64() < cfg.SpikeProb {
+				burstLeft = 1 + rng.Intn(3)
+			}
+			if burstLeft > 0 {
+				cpu *= cfg.SpikeBoost
+				burstLeft--
+			} else if joinsClusterBursts && clusterBurst[i] {
+				cpu *= cfg.SpikeBoost
+			}
+			cpu += rng.NormFloat64() * cfg.Noise
+			s.CPUPercent[i] = clampPct(cpu)
+
+			// Memory moves slowly: an AR(1) walk toward a wave-modulated
+			// level, mimicking resident-set growth and GC release.
+			target := memLevel * (1 + 0.3*cfg.WaveAmplitude*math.Sin(2*math.Pi*float64(t)/float64(cfg.WavePeriod)+phase))
+			prev := target
+			if i > 0 {
+				prev = s.MemPercent[i-1]
+			}
+			mem := prev + 0.2*(target-prev) + rng.NormFloat64()*cfg.Noise*0.3
+			s.MemPercent[i] = clampPct(mem)
+		}
+		tr.Series = append(tr.Series, s)
+	}
+	return tr
+}
+
+func clampPct(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 100 {
+		return 100
+	}
+	return v
+}

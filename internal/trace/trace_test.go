@@ -1,0 +1,242 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/fstest"
+	"time"
+)
+
+func TestSeriesAt(t *testing.T) {
+	s := Series{
+		Interval:   time.Minute,
+		CPUPercent: []float64{10, 20, 30},
+		MemPercent: []float64{1, 2, 3},
+	}
+	cpu, mem := s.At(0)
+	if cpu != 10 || mem != 1 {
+		t.Errorf("At(0) = %v/%v", cpu, mem)
+	}
+	cpu, _ = s.At(90 * time.Second) // second sample
+	if cpu != 20 {
+		t.Errorf("At(90s) = %v, want 20", cpu)
+	}
+	// Wraps past the end.
+	cpu, _ = s.At(3 * time.Minute)
+	if cpu != 10 {
+		t.Errorf("At(wrap) = %v, want 10", cpu)
+	}
+}
+
+func TestSeriesAtEmpty(t *testing.T) {
+	var s Series
+	if cpu, mem := s.At(time.Hour); cpu != 0 || mem != 0 {
+		t.Error("empty series should return zeros")
+	}
+}
+
+func TestSeriesDuration(t *testing.T) {
+	s := Series{Interval: 30 * time.Second, CPUPercent: make([]float64, 4)}
+	if s.Duration() != 2*time.Minute {
+		t.Errorf("Duration = %v, want 2m", s.Duration())
+	}
+}
+
+func TestTraceMean(t *testing.T) {
+	tr := &Trace{
+		Interval: time.Minute,
+		Series: []Series{
+			{Interval: time.Minute, CPUPercent: []float64{10, 20}, MemPercent: []float64{0, 0}},
+			{Interval: time.Minute, CPUPercent: []float64{30, 40}, MemPercent: []float64{10, 10}},
+		},
+	}
+	m := tr.Mean()
+	if m.CPUPercent[0] != 20 || m.CPUPercent[1] != 30 {
+		t.Errorf("mean CPU = %v", m.CPUPercent)
+	}
+	if m.MemPercent[0] != 5 {
+		t.Errorf("mean mem = %v", m.MemPercent)
+	}
+}
+
+func TestTraceMeanRaggedLengths(t *testing.T) {
+	tr := &Trace{
+		Interval: time.Minute,
+		Series: []Series{
+			{Interval: time.Minute, CPUPercent: []float64{10}, MemPercent: []float64{2}},
+			{Interval: time.Minute, CPUPercent: []float64{30, 50}, MemPercent: []float64{4, 6}},
+		},
+	}
+	m := tr.Mean()
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	if m.CPUPercent[0] != 20 || m.CPUPercent[1] != 50 {
+		t.Errorf("ragged mean = %v", m.CPUPercent)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	tr := &Trace{Interval: time.Minute}
+	for i := 0; i < 10; i++ {
+		tr.Series = append(tr.Series, Series{
+			Interval:   time.Minute,
+			CPUPercent: []float64{float64(i)},
+			MemPercent: []float64{0},
+		})
+	}
+	parts := tr.Partition(3)
+	if len(parts) != 3 {
+		t.Fatalf("parts = %d, want 3", len(parts))
+	}
+	// Round-robin: group 0 gets series 0,3,6,9 -> mean 4.5.
+	if got := parts[0].CPUPercent[0]; got != 4.5 {
+		t.Errorf("part 0 mean = %v, want 4.5", got)
+	}
+	if Partition := tr.Partition(0); Partition != nil {
+		t.Error("Partition(0) should be nil")
+	}
+}
+
+func TestGenerateRndShape(t *testing.T) {
+	cfg := DefaultRndConfig(1)
+	cfg.VMs = 100
+	cfg.Duration = 30 * time.Minute
+	tr := GenerateRnd(cfg)
+	if len(tr.Series) != 100 {
+		t.Fatalf("series = %d, want 100", len(tr.Series))
+	}
+	for _, s := range tr.Series {
+		if s.Len() != 60 {
+			t.Fatalf("samples = %d, want 60", s.Len())
+		}
+		for i := 0; i < s.Len(); i++ {
+			if s.CPUPercent[i] < 0 || s.CPUPercent[i] > 100 || s.MemPercent[i] < 0 || s.MemPercent[i] > 100 {
+				t.Fatal("sample out of [0,100]")
+			}
+		}
+	}
+
+	// The across-VM average must keep a visible wave (correlated phases),
+	// like Figure 9.
+	m := tr.Mean()
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, v := range m.CPUPercent {
+		minV = math.Min(minV, v)
+		maxV = math.Max(maxV, v)
+	}
+	if maxV/minV < 1.15 {
+		t.Errorf("average CPU wave too flat: min=%v max=%v", minV, maxV)
+	}
+}
+
+func TestGenerateRndDeterministic(t *testing.T) {
+	cfg := DefaultRndConfig(7)
+	cfg.VMs = 10
+	cfg.Duration = 10 * time.Minute
+	a, b := GenerateRnd(cfg), GenerateRnd(cfg)
+	for i := range a.Series {
+		for j := range a.Series[i].CPUPercent {
+			if a.Series[i].CPUPercent[j] != b.Series[i].CPUPercent[j] {
+				t.Fatal("same seed produced different traces")
+			}
+		}
+	}
+	cfg2 := cfg
+	cfg2.Seed = 8
+	c := GenerateRnd(cfg2)
+	same := true
+	for j := range a.Series[0].CPUPercent {
+		if a.Series[0].CPUPercent[j] != c.Series[0].CPUPercent[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+const gwaHeader = "Timestamp [ms];CPU cores;CPU capacity provisioned [MHZ];CPU usage [MHZ];CPU usage [%];Memory capacity provisioned [KB];Memory usage [KB];Disk read throughput [KB/s];Disk write throughput [KB/s];Network received throughput [KB/s];Network transmitted throughput [KB/s]"
+
+func TestParseGWA(t *testing.T) {
+	data := gwaHeader + "\n" +
+		"0;4;11704;1170.4;10.0;8388608;4194304;0;0;0;0\n" +
+		"300000;4;11704;2340.8;20.0;8388608;2097152;0;0;0;0\n"
+	s, err := ParseGWA(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("samples = %d, want 2", s.Len())
+	}
+	if s.CPUPercent[0] != 10 || s.CPUPercent[1] != 20 {
+		t.Errorf("cpu = %v", s.CPUPercent)
+	}
+	if s.MemPercent[0] != 50 || s.MemPercent[1] != 25 {
+		t.Errorf("mem = %v", s.MemPercent)
+	}
+	if s.Interval != 300*time.Second {
+		t.Errorf("interval = %v, want 5m", s.Interval)
+	}
+}
+
+func TestParseGWASkipsBadRows(t *testing.T) {
+	data := gwaHeader + "\n" +
+		"0;4;11704;1170.4;10.0;8388608;4194304;0;0;0;0\n" +
+		"garbage;;;;;;;;;\n" +
+		"600;4;11704;1170.4;30.0;8388608;4194304;0;0;0;0\n"
+	s, err := ParseGWA(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Errorf("samples = %d, want 2 (bad row skipped)", s.Len())
+	}
+}
+
+func TestParseGWAErrors(t *testing.T) {
+	if _, err := ParseGWA(strings.NewReader("")); err == nil {
+		t.Error("empty file accepted")
+	}
+	if _, err := ParseGWA(strings.NewReader("a;b;c\n1;2;3\n")); err == nil {
+		t.Error("bad header accepted")
+	}
+	if _, err := ParseGWA(strings.NewReader(gwaHeader + "\n")); err == nil {
+		t.Error("file with no samples accepted")
+	}
+}
+
+func TestLoadGWADir(t *testing.T) {
+	row := "0;4;11704;1170.4;10.0;8388608;4194304;0;0;0;0\n"
+	fsys := fstest.MapFS{
+		"rnd/1.csv":      {Data: []byte(gwaHeader + "\n" + row)},
+		"rnd/2.csv":      {Data: []byte(gwaHeader + "\n" + row + row)},
+		"rnd/ignore.txt": {Data: []byte("not a trace")},
+	}
+	tr, err := LoadGWADir(fsys, "rnd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Series) != 2 {
+		t.Fatalf("series = %d, want 2", len(tr.Series))
+	}
+	if tr.Series[1].Len() != 2 {
+		t.Error("file order / content mismatch")
+	}
+}
+
+func TestLoadGWADirErrors(t *testing.T) {
+	if _, err := LoadGWADir(fstest.MapFS{}, "missing"); err == nil {
+		t.Error("missing dir accepted")
+	}
+	fsys := fstest.MapFS{"d/readme.md": {Data: []byte("x")}}
+	if _, err := LoadGWADir(fsys, "d"); err == nil {
+		t.Error("dir without CSVs accepted")
+	}
+	bad := fstest.MapFS{"d/1.csv": {Data: []byte("bad header\n1;2\n")}}
+	if _, err := LoadGWADir(bad, "d"); err == nil {
+		t.Error("bad csv accepted")
+	}
+}
