@@ -37,6 +37,7 @@ import (
 
 	"hyscale/internal/cluster"
 	"hyscale/internal/core"
+	"hyscale/internal/faults"
 	"hyscale/internal/loadgen"
 	"hyscale/internal/metrics"
 	"hyscale/internal/monitor"
@@ -99,7 +100,22 @@ type SimConfig struct {
 	NodeCPU     float64
 	NodeMemMB   float64
 	NodeNetMbps float64
+	// Faults configures deterministic control-plane fault injection
+	// (failed docker updates, failed/slow replica starts, dropped stats
+	// queries, black-holed backends). The zero value injects nothing.
+	Faults faults.Config
+	// DisableHardening turns off the control plane's resilience machinery
+	// (retry/backoff, stale-snapshot degradation, LB health checks) so the
+	// cost of faults can be measured unmitigated.
+	DisableHardening bool
 }
+
+// FaultConfig re-exports the fault-injection configuration for callers of
+// the public API.
+type FaultConfig = faults.Config
+
+// FaultWindow scopes fault injection to a target and a time interval.
+type FaultWindow = faults.Window
 
 // Simulation is a fully wired autoscaler platform running on the simulated
 // cluster. It wraps the internal platform with a stable public surface.
@@ -126,6 +142,8 @@ func NewSimulation(cfg SimConfig) (*Simulation, error) {
 		pc.NodeTemplate.Capacity.NetMbps = cfg.NodeNetMbps
 		pc.NodeTemplate.Net.CapacityMbps = cfg.NodeNetMbps
 	}
+	pc.Faults = cfg.Faults
+	pc.HardeningOff = cfg.DisableHardening
 	name := cfg.Algorithm
 	if name == "" {
 		name = AlgoHyScaleCPUMem
@@ -160,6 +178,10 @@ func (s *Simulation) ServiceReport(name string) metrics.Summary {
 
 // Actions returns the cumulative scaling-operation counters.
 func (s *Simulation) Actions() monitor.ActionCounts { return s.world.Monitor().Counts() }
+
+// ConnFailures breaks connection failures down by cause (all replicas
+// starting, no backend at all, injected backend outage).
+func (s *Simulation) ConnFailures() platform.ConnFailureBreakdown { return s.world.ConnFailures() }
 
 // Replicas returns the live replica count of a service.
 func (s *Simulation) Replicas(service string) int {

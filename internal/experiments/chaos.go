@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"hyscale/internal/faults"
+	"hyscale/internal/metrics"
+	"hyscale/internal/monitor"
+	"hyscale/internal/platform"
+	"hyscale/internal/sim"
+	"hyscale/internal/workload"
+)
+
+// The chaos experiment replays Fig. 6b's mixed-burst workload (15 CPU-bound
+// services under high-burst load) while the control plane degrades:
+// `docker update`s fail, replica starts fail or stall, stats queries drop
+// and backends black-hole connections. It sweeps the fault rate and, at the
+// highest rate, re-runs with the hardening (retry/backoff, stale-snapshot
+// degradation, LB health checks) switched off — so the table directly
+// prices what the resilience machinery buys per algorithm.
+
+// ChaosFaults is the base fault mix the chaos experiment scales; rate 1.0
+// applies it as-is. Exported so tests and the facade can reuse it.
+func ChaosFaults(seed int64) faults.Config {
+	return faults.Config{
+		Seed:             seed,
+		VerticalFailProb: 0.25,
+		StartFailProb:    0.20,
+		StartSlowProb:    0.25,
+		StartSlowBy:      8 * time.Second,
+		StatsDropProb:    0.25,
+		BackendDownProb:  0.15,
+		BackendDownFor:   10 * time.Second,
+		BackendDownEvery: time.Minute,
+	}
+}
+
+// ChaosOutcome is one (fault rate, algorithm, hardening) cell.
+type ChaosOutcome struct {
+	Algorithm string
+	FaultRate float64
+	Hardened  bool
+	Summary   metrics.Summary
+	Actions   monitor.ActionCounts
+	ConnFail  platform.ConnFailureBreakdown
+	// UptimePercent is the fraction of service-seconds with at least one
+	// replica that was both routable and not black-holed — the §VI uptime
+	// metric under chaos.
+	UptimePercent float64
+}
+
+// ChaosResult is the material behind the resilience comparison.
+type ChaosResult struct {
+	Name     string
+	Outcomes []ChaosOutcome
+}
+
+// Outcome returns the cell for (algorithm, rate, hardened), or nil.
+func (r *ChaosResult) Outcome(algorithm string, rate float64, hardened bool) *ChaosOutcome {
+	for i := range r.Outcomes {
+		o := &r.Outcomes[i]
+		if o.Algorithm == algorithm && o.FaultRate == rate && o.Hardened == hardened {
+			return o
+		}
+	}
+	return nil
+}
+
+// Table renders the per-algorithm resilience comparison.
+func (r *ChaosResult) Table() *Table {
+	t := &Table{
+		Title: r.Name,
+		Columns: []string{"fault rate", "algorithm", "hardened", "failed %", "uptime %",
+			"mean response", "retries", "abandoned", "stale snaps"},
+	}
+	for _, o := range r.Outcomes {
+		hardened := "yes"
+		if !o.Hardened {
+			hardened = "no"
+		}
+		t.AddRow(
+			fmt.Sprintf("%.1f", o.FaultRate),
+			o.Algorithm,
+			hardened,
+			fmt.Sprintf("%.2f", o.Summary.FailedPercent()),
+			fmt.Sprintf("%.2f", o.UptimePercent),
+			fmtDur(o.Summary.MeanLatency),
+			fmt.Sprintf("%d", o.Actions.Retries),
+			fmt.Sprintf("%d", o.Actions.AbandonedActions),
+			fmt.Sprintf("%d", o.Actions.StaleSnapshots),
+		)
+	}
+	return t
+}
+
+// uptimeProbe counts service-seconds of availability.
+type uptimeProbe struct {
+	total uint64
+	up    uint64
+}
+
+// percent returns availability as a percentage (100 when never sampled).
+func (u *uptimeProbe) percent() float64 {
+	if u.total == 0 {
+		return 100
+	}
+	return 100 * float64(u.up) / float64(u.total)
+}
+
+// attach samples every service once per simulated second: a service is up
+// when at least one replica is routable and not inside an injected backend
+// outage.
+func (u *uptimeProbe) attach(w *platform.World, services []serviceLoad) error {
+	inj := w.FaultInjector()
+	return w.Engine().SchedulePeriodic(time.Second, time.Second, func(e *sim.Engine) {
+		now := e.Now()
+		for _, s := range services {
+			u.total++
+			for _, c := range w.Monitor().Replicas(s.spec.Name) {
+				if c.Routable() && !inj.BackendDown(now, c.ID) {
+					u.up++
+					break
+				}
+			}
+		}
+	})
+}
+
+// chaosCell parameterises one chaos run.
+type chaosCell struct {
+	algorithm string
+	rate      float64
+	hardened  bool
+}
+
+// runChaosCells runs the workload once per cell and collects outcomes.
+func runChaosCells(name string, services []serviceLoad, cells []chaosCell, opts Options) (*ChaosResult, error) {
+	res := &ChaosResult{Name: name}
+	base := ChaosFaults(opts.Seed + 1000)
+	for _, cell := range cells {
+		algo, err := newAlgorithm(cell.algorithm)
+		if err != nil {
+			return nil, err
+		}
+		cfg := platform.DefaultConfig(opts.Seed)
+		cfg.Faults = base.Scaled(cell.rate)
+		cfg.HardeningOff = !cell.hardened
+		w, err := platform.New(cfg, algo)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range services {
+			if err := w.AddService(s.spec, s.target, s.pattern); err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", name, cell.algorithm, err)
+			}
+		}
+		probe := &uptimeProbe{}
+		if err := probe.attach(w, services); err != nil {
+			return nil, err
+		}
+		if err := w.Run(macroDuration(opts)); err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", name, cell.algorithm, err)
+		}
+		res.Outcomes = append(res.Outcomes, ChaosOutcome{
+			Algorithm:     cell.algorithm,
+			FaultRate:     cell.rate,
+			Hardened:      cell.hardened,
+			Summary:       w.Summary(),
+			Actions:       w.Monitor().Counts(),
+			ConnFail:      w.ConnFailures(),
+			UptimePercent: probe.percent(),
+		})
+	}
+	return res, nil
+}
+
+// RunChaos replays Fig. 6b's high-burst CPU-bound workload under a fault
+// sweep (rates 0, 0.5, 1.0 with hardening on) plus an unhardened run at
+// rate 1.0 per algorithm, tabulating failed-request %, uptime and retry
+// volume.
+func RunChaos(opts Options) (*ChaosResult, error) {
+	opts = opts.scaled()
+	services := makeServices(workload.KindCPUBound, 15, HighBurst, opts.Seed)
+	algorithms := []string{"kubernetes", "hybrid", "hybridmem"}
+	var cells []chaosCell
+	for _, rate := range []float64{0, 0.5, 1.0} {
+		for _, a := range algorithms {
+			cells = append(cells, chaosCell{algorithm: a, rate: rate, hardened: true})
+		}
+	}
+	for _, a := range algorithms {
+		cells = append(cells, chaosCell{algorithm: a, rate: 1.0, hardened: false})
+	}
+	return runChaosCells(
+		"Chaos: CPU-bound high-burst under control-plane faults",
+		services, cells, opts,
+	)
+}

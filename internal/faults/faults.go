@@ -1,0 +1,292 @@
+// Package faults is a deterministic, seeded fault-injection layer for the
+// control plane. Real autoscalers live with flaky control actions — `docker
+// update` calls that error, replica starts that hang, node managers that
+// miss a stats query, backends that silently stop accepting connections —
+// and the paper's headline claims (≤10× fewer failed requests, ≥99.8 %
+// uptime, §VI) are precisely claims about behaviour under such stress.
+//
+// Every fault decision is a pure function of (seed, fault kind, target,
+// instant): the injector hashes those four values instead of consuming a
+// shared random stream. This makes the fault schedule independent of how
+// often — or in what order — the control plane asks, so a hardened run and
+// an unhardened run of the same seed face the *same* faults, and two runs
+// of the same configuration are byte-identical.
+package faults
+
+import (
+	"fmt"
+	"time"
+)
+
+// Kind names a fault site.
+type Kind string
+
+// Fault sites.
+const (
+	// KindVertical fails `docker update` actions.
+	KindVertical Kind = "vertical"
+	// KindStart fails or slows replica starts (`docker run`).
+	KindStart Kind = "start"
+	// KindStats drops node-manager stats queries.
+	KindStats Kind = "stats"
+	// KindBackend marks LB backends unhealthy for an interval.
+	KindBackend Kind = "backend"
+)
+
+// Window forces a fault during [From, To) for a target (or every target
+// when Target is empty) — the schedule-driven half of the injector, for
+// reproducing a specific outage ("node-3's manager is unreachable from
+// minute 4 to minute 6").
+type Window struct {
+	Kind   Kind
+	Target string
+	From   time.Duration
+	To     time.Duration
+}
+
+// Contains reports whether the window forces kind on target at now.
+func (w Window) Contains(kind Kind, target string, now time.Duration) bool {
+	return w.Kind == kind &&
+		(w.Target == "" || w.Target == target) &&
+		now >= w.From && now < w.To
+}
+
+// Config parameterises an Injector. The zero value injects nothing.
+// Probabilities are per-attempt (vertical, start) or per-query (stats);
+// backend outages are drawn once per epoch.
+type Config struct {
+	// Seed decorrelates the fault schedule from the simulation seed.
+	Seed int64
+
+	// VerticalFailProb fails a `docker update` attempt.
+	VerticalFailProb float64
+
+	// StartFailProb fails a replica start outright; StartSlowProb instead
+	// delays readiness by StartSlowBy (image pull stall, slow mount).
+	StartFailProb float64
+	StartSlowProb float64
+	StartSlowBy   time.Duration
+
+	// StatsDropProb drops one node manager's answer to a Monitor stats
+	// query (the NM is unreachable that poll).
+	StatsDropProb float64
+
+	// BackendDownProb is drawn once per container per BackendDownEvery
+	// epoch; on a hit the backend drops every connection for the first
+	// BackendDownFor of that epoch.
+	BackendDownProb  float64
+	BackendDownFor   time.Duration
+	BackendDownEvery time.Duration
+
+	// Windows force faults on a schedule, independent of the probabilities.
+	Windows []Window
+}
+
+// Defaults for zero-valued durations when the matching probability is set.
+const (
+	defaultStartSlowBy      = 5 * time.Second
+	defaultBackendDownFor   = 10 * time.Second
+	defaultBackendDownEvery = time.Minute
+)
+
+// Enabled reports whether the config can inject any fault at all.
+func (c Config) Enabled() bool {
+	return c.VerticalFailProb > 0 || c.StartFailProb > 0 || c.StartSlowProb > 0 ||
+		c.StatsDropProb > 0 || c.BackendDownProb > 0 || len(c.Windows) > 0
+}
+
+// Scaled multiplies every probability by rate (clamped to [0, 1]),
+// preserving durations and windows — the chaos experiment's fault-rate
+// sweep. Rate 0 returns a config that injects nothing.
+func (c Config) Scaled(rate float64) Config {
+	s := c
+	s.VerticalFailProb = clampProb(c.VerticalFailProb * rate)
+	s.StartFailProb = clampProb(c.StartFailProb * rate)
+	s.StartSlowProb = clampProb(c.StartSlowProb * rate)
+	s.StatsDropProb = clampProb(c.StatsDropProb * rate)
+	s.BackendDownProb = clampProb(c.BackendDownProb * rate)
+	if rate <= 0 {
+		s.Windows = nil
+	}
+	return s
+}
+
+func clampProb(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// Validate checks probabilities and windows.
+func (c Config) Validate() error {
+	for name, p := range map[string]float64{
+		"verticalFailProb": c.VerticalFailProb,
+		"startFailProb":    c.StartFailProb,
+		"startSlowProb":    c.StartSlowProb,
+		"statsDropProb":    c.StatsDropProb,
+		"backendDownProb":  c.BackendDownProb,
+	} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("faults: %s = %v out of [0,1]", name, p)
+		}
+	}
+	for i, w := range c.Windows {
+		switch w.Kind {
+		case KindVertical, KindStart, KindStats, KindBackend:
+		default:
+			return fmt.Errorf("faults: window %d has unknown kind %q", i, w.Kind)
+		}
+		if w.To <= w.From {
+			return fmt.Errorf("faults: window %d has non-positive span [%v, %v)", i, w.From, w.To)
+		}
+	}
+	return nil
+}
+
+// Injector answers fault queries. A nil *Injector injects nothing, so
+// callers can wire it unconditionally.
+type Injector struct {
+	cfg Config
+}
+
+// New builds an injector. Returns nil when the config injects nothing, so
+// `faults.New(cfg)` composes directly with the nil-safe query methods.
+func New(cfg Config) *Injector {
+	if !cfg.Enabled() {
+		return nil
+	}
+	return &Injector{cfg: cfg}
+}
+
+// Config returns the injector's configuration (zero for a nil injector).
+func (i *Injector) Config() Config {
+	if i == nil {
+		return Config{}
+	}
+	return i.cfg
+}
+
+// Enabled reports whether any fault can fire.
+func (i *Injector) Enabled() bool { return i != nil && i.cfg.Enabled() }
+
+// roll returns a deterministic uniform draw in [0, 1) for (kind, target, n).
+func (i *Injector) roll(kind Kind, target string, n uint64) float64 {
+	h := uint64(i.cfg.Seed) ^ 0x9e3779b97f4a7c15
+	h = fnvMix(h, []byte(kind))
+	h = fnvMix(h, []byte(target))
+	var b [8]byte
+	for k := 0; k < 8; k++ {
+		b[k] = byte(n >> (8 * k))
+	}
+	h = fnvMix(h, b[:])
+	// splitmix64 finaliser for avalanche.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return float64(h>>11) / (1 << 53)
+}
+
+func fnvMix(h uint64, data []byte) uint64 {
+	for _, c := range data {
+		h ^= uint64(c)
+		h *= 1099511628211 // FNV-1a prime
+	}
+	return h
+}
+
+func (i *Injector) windowed(kind Kind, target string, now time.Duration) bool {
+	for _, w := range i.cfg.Windows {
+		if w.Contains(kind, target, now) {
+			return true
+		}
+	}
+	return false
+}
+
+// VerticalFails reports whether the `docker update` on containerID at now
+// fails. Retrying at a later instant re-rolls, so transient faults clear.
+func (i *Injector) VerticalFails(now time.Duration, containerID string) bool {
+	if i == nil {
+		return false
+	}
+	if i.windowed(KindVertical, containerID, now) {
+		return true
+	}
+	return i.cfg.VerticalFailProb > 0 &&
+		i.roll(KindVertical, containerID, uint64(now)) < i.cfg.VerticalFailProb
+}
+
+// StartFault reports the fate of a replica start at now: fail outright,
+// or be slowed by the returned extra delay before readiness. key should
+// identify the attempt stably (service name plus replica index).
+func (i *Injector) StartFault(now time.Duration, key string) (fail bool, slowBy time.Duration) {
+	if i == nil {
+		return false, 0
+	}
+	if i.windowed(KindStart, key, now) {
+		return true, 0
+	}
+	r := i.roll(KindStart, key, uint64(now))
+	if r < i.cfg.StartFailProb {
+		return true, 0
+	}
+	if r < i.cfg.StartFailProb+i.cfg.StartSlowProb {
+		d := i.cfg.StartSlowBy
+		if d <= 0 {
+			d = defaultStartSlowBy
+		}
+		return false, d
+	}
+	return false, 0
+}
+
+// StatsDropped reports whether nodeID's answer to the stats query at now is
+// lost.
+func (i *Injector) StatsDropped(now time.Duration, nodeID string) bool {
+	if i == nil {
+		return false
+	}
+	if i.windowed(KindStats, nodeID, now) {
+		return true
+	}
+	return i.cfg.StatsDropProb > 0 &&
+		i.roll(KindStats, nodeID, uint64(now)) < i.cfg.StatsDropProb
+}
+
+// BackendDown reports whether containerID is black-holing connections at
+// now. Outages are epoch-aligned: each BackendDownEvery the container is
+// re-drawn, and on a hit it is down for the first BackendDownFor of the
+// epoch — the same schedule regardless of who asks or how often.
+func (i *Injector) BackendDown(now time.Duration, containerID string) bool {
+	if i == nil {
+		return false
+	}
+	if i.windowed(KindBackend, containerID, now) {
+		return true
+	}
+	if i.cfg.BackendDownProb <= 0 {
+		return false
+	}
+	every := i.cfg.BackendDownEvery
+	if every <= 0 {
+		every = defaultBackendDownEvery
+	}
+	downFor := i.cfg.BackendDownFor
+	if downFor <= 0 {
+		downFor = defaultBackendDownFor
+	}
+	if downFor > every {
+		downFor = every
+	}
+	epoch := uint64(now / every)
+	if i.roll(KindBackend, containerID, epoch) >= i.cfg.BackendDownProb {
+		return false
+	}
+	return now-time.Duration(epoch)*every < downFor
+}

@@ -136,6 +136,9 @@ func (s *Server) handleActions(w http.ResponseWriter, _ *http.Request) {
 		"scaleOuts":         c.ScaleOuts,
 		"scaleIns":          c.ScaleIns,
 		"placementFailures": c.PlacementFailures,
+		"retries":           c.Retries,
+		"abandonedActions":  c.AbandonedActions,
+		"staleSnapshots":    c.StaleSnapshots,
 	})
 }
 
@@ -379,4 +382,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "hyscale_scaling_actions_total{kind=\"vertical\"} %d\n", c.Vertical)
 	fmt.Fprintf(w, "hyscale_scaling_actions_total{kind=\"scale_out\"} %d\n", c.ScaleOuts)
 	fmt.Fprintf(w, "hyscale_scaling_actions_total{kind=\"scale_in\"} %d\n", c.ScaleIns)
+
+	fmt.Fprintf(w, "# TYPE hyscale_control_retries_total counter\nhyscale_control_retries_total %d\n", c.Retries)
+	fmt.Fprintf(w, "# TYPE hyscale_control_abandoned_total counter\nhyscale_control_abandoned_total %d\n", c.AbandonedActions)
+	fmt.Fprintf(w, "# TYPE hyscale_control_stale_snapshots_total counter\nhyscale_control_stale_snapshots_total %d\n", c.StaleSnapshots)
+	fmt.Fprintf(w, "# TYPE hyscale_control_placement_failures_total counter\nhyscale_control_placement_failures_total %d\n", c.PlacementFailures)
+
+	cf := s.world.ConnFailures()
+	fmt.Fprintf(w, "# TYPE hyscale_connection_failures_total counter\n")
+	fmt.Fprintf(w, "hyscale_connection_failures_total{cause=\"starting\"} %d\n", cf.Starting)
+	fmt.Fprintf(w, "hyscale_connection_failures_total{cause=\"absent\"} %d\n", cf.Absent)
+	fmt.Fprintf(w, "hyscale_connection_failures_total{cause=\"unhealthy\"} %d\n", cf.Unhealthy)
 }

@@ -188,6 +188,13 @@ func TestMetricsExposition(t *testing.T) {
 		`hyscale_service_replicas{service="api"}`,
 		`hyscale_node_cpu_allocated{node="node-0"}`,
 		`hyscale_scaling_actions_total{kind="vertical"}`,
+		"hyscale_control_retries_total",
+		"hyscale_control_abandoned_total",
+		"hyscale_control_stale_snapshots_total",
+		"hyscale_control_placement_failures_total",
+		`hyscale_connection_failures_total{cause="starting"}`,
+		`hyscale_connection_failures_total{cause="absent"}`,
+		`hyscale_connection_failures_total{cause="unhealthy"}`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics missing %q", want)
@@ -208,8 +215,10 @@ func TestCostAndActions(t *testing.T) {
 	if err := json.Unmarshal(get(t, srv, "/v1/actions").Body.Bytes(), &actions); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := actions["scaleOuts"]; !ok {
-		t.Error("actions missing scaleOuts")
+	for _, key := range []string{"scaleOuts", "retries", "abandonedActions", "staleSnapshots"} {
+		if _, ok := actions[key]; !ok {
+			t.Errorf("actions missing %s", key)
+		}
 	}
 }
 

@@ -3,6 +3,12 @@
 // microservice. The balancer also charges the cross-node distribution
 // overhead the paper measured in §III-A — a latency term that grows
 // logarithmically with the number of replicas.
+//
+// The balancer actively health-checks its backends: an installed
+// HealthCheck probe is consulted (at most once per ProbeInterval per
+// backend) and unhealthy replicas are ejected from rotation until a later
+// probe sees them recover. The probe cache models real LB behaviour —
+// detection and readmission both lag by up to one probe interval.
 package lb
 
 import (
@@ -46,9 +52,24 @@ func (p Policy) String() string {
 	}
 }
 
-// ErrNoBackend is returned when a service has no routable replica; the
-// request becomes a connection failure.
+// ErrNoBackend is returned when a service has no replica that could ever
+// take the request — none exist, all are overloaded, or health checks have
+// ejected every one; the request becomes a connection failure.
 var ErrNoBackend = errors.New("lb: no routable replica")
+
+// ErrAllStarting is returned when replicas exist but every one is still
+// mid-start — the autoscaler has reacted, capacity just isn't ready yet.
+// Chaos analyses attribute these failures to start latency, not absence.
+var ErrAllStarting = errors.New("lb: all replicas still starting")
+
+// defaultProbeInterval spaces health probes per backend.
+const defaultProbeInterval = 2 * time.Second
+
+// probeState caches one backend's last health probe.
+type probeState struct {
+	at      time.Duration
+	healthy bool
+}
 
 // Balancer routes requests to replicas. It is single-goroutine like the
 // rest of the simulator.
@@ -58,24 +79,49 @@ type Balancer struct {
 	// replica set (c·log2(replicas), §III-A). Zero disables the effect.
 	DistributionOverhead time.Duration
 
-	rr map[string]int
+	// HealthCheck, when set, is probed per backend (at most once per
+	// ProbeInterval) and unhealthy backends are ejected from rotation until
+	// a later probe readmits them. Nil disables health checking.
+	HealthCheck func(now time.Duration, c *container.Container) bool
+	// ProbeInterval caps probe frequency per backend; zero uses the 2s
+	// default. The cache is what makes detection realistic: a backend that
+	// just went down keeps receiving (and dropping) traffic until the next
+	// probe notices.
+	ProbeInterval time.Duration
+
+	rr     map[string]int
+	probes map[string]probeState
 }
 
 // New creates a balancer with the given policy.
 func New(policy Policy) *Balancer {
-	return &Balancer{policy: policy, rr: make(map[string]int)}
+	return &Balancer{
+		policy: policy,
+		rr:     make(map[string]int),
+		probes: make(map[string]probeState),
+	}
 }
 
 // Policy returns the routing policy.
 func (b *Balancer) Policy() Policy { return b.policy }
 
-// Route picks a routable replica for the request and charges the
-// distribution overhead. It does not enqueue the request; the caller does,
-// which keeps routing decisions testable in isolation. Returns ErrNoBackend
-// when every replica is down or still starting.
+// Route picks a replica for the request with the request's arrival as the
+// probe clock. See RouteAt.
 func (b *Balancer) Route(req *workload.Request, replicas []*container.Container) (*container.Container, error) {
-	routable := routableOf(replicas)
+	return b.RouteAt(req.Arrival, req, replicas)
+}
+
+// RouteAt picks a routable, healthy replica for the request and charges the
+// distribution overhead. It does not enqueue the request; the caller does,
+// which keeps routing decisions testable in isolation. Returns
+// ErrAllStarting when replicas exist but none has finished starting, and
+// ErrNoBackend when there is no viable backend at all.
+func (b *Balancer) RouteAt(now time.Duration, req *workload.Request, replicas []*container.Container) (*container.Container, error) {
+	routable, starting := b.split(now, replicas)
 	if len(routable) == 0 {
+		if starting > 0 {
+			return nil, ErrAllStarting
+		}
 		return nil, ErrNoBackend
 	}
 
@@ -118,12 +164,47 @@ func weightedScore(c *container.Container) float64 {
 	return float64(c.Inflight()) / cpu
 }
 
-func routableOf(replicas []*container.Container) []*container.Container {
+// split partitions replicas into the viable rotation and a count of those
+// still starting. Health-ejected and overloaded replicas belong to neither:
+// they exist but cannot take traffic, which keeps ErrNoBackend (not
+// ErrAllStarting) the verdict when ejection empties the rotation.
+func (b *Balancer) split(now time.Duration, replicas []*container.Container) ([]*container.Container, int) {
 	out := make([]*container.Container, 0, len(replicas))
+	starting := 0
 	for _, c := range replicas {
-		if c.Routable() && !c.Overloaded() {
-			out = append(out, c)
+		if !c.Routable() {
+			if c.State == container.StateStarting {
+				starting++
+			}
+			continue
 		}
+		if c.Overloaded() || !b.healthy(now, c) {
+			continue
+		}
+		out = append(out, c)
 	}
-	return out
+	return out, starting
+}
+
+// healthy returns the (possibly cached) probe verdict for a backend.
+func (b *Balancer) healthy(now time.Duration, c *container.Container) bool {
+	if b.HealthCheck == nil {
+		return true
+	}
+	interval := b.ProbeInterval
+	if interval <= 0 {
+		interval = defaultProbeInterval
+	}
+	if p, ok := b.probes[c.ID]; ok && now-p.at < interval {
+		return p.healthy
+	}
+	h := b.HealthCheck(now, c)
+	b.probes[c.ID] = probeState{at: now, healthy: h}
+	return h
+}
+
+// Forget drops a backend's cached probe state; call when a replica is
+// removed so its ID can be reused without inheriting stale health.
+func (b *Balancer) Forget(containerID string) {
+	delete(b.probes, containerID)
 }

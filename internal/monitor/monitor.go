@@ -4,6 +4,13 @@
 // algorithm, and executes the resulting plan — vertical `docker update`s,
 // replica scale-outs with container start latency, and replica removals
 // (whose in-flight requests become removal failures).
+//
+// The Monitor is hardened against a flaky control plane (see
+// internal/faults): failed or faulted actions are retried with capped
+// exponential backoff, scale-outs that hit placement failures are requeued
+// for the next monitoring period instead of dropped, and when a node
+// manager's stats query is lost the Monitor degrades gracefully by scaling
+// on its last-known report within a staleness bound.
 package monitor
 
 import (
@@ -13,20 +20,63 @@ import (
 	"hyscale/internal/cluster"
 	"hyscale/internal/container"
 	"hyscale/internal/core"
+	"hyscale/internal/faults"
 	"hyscale/internal/nodemanager"
 	"hyscale/internal/resources"
 	"hyscale/internal/workload"
 )
 
 // ActionCounts tallies the scaling operations the Monitor has executed,
-// used by the resource-efficiency analyses.
+// used by the resource-efficiency and resilience analyses.
 type ActionCounts struct {
 	Vertical  uint64
 	ScaleOuts uint64
 	ScaleIns  uint64
-	// PlacementFailures counts scale-outs that could not be executed
-	// because the target node no longer fit the allocation.
+	// PlacementFailures counts scale-out attempts that could not be
+	// executed because the target node no longer fit the allocation.
 	PlacementFailures uint64
+	// Retries counts re-executed attempts of previously failed actions.
+	Retries uint64
+	// AbandonedActions counts actions dropped after exhausting their retry
+	// budget (or immediately, when hardening is disabled).
+	AbandonedActions uint64
+	// StaleSnapshots counts node reports served from the last-known cache
+	// because the live stats query was lost.
+	StaleSnapshots uint64
+}
+
+// Hardening configures the Monitor's resilience to control-plane faults.
+type Hardening struct {
+	// Enabled turns on retry/backoff, placement-failure requeue and
+	// stale-snapshot degradation. Disabled reproduces the legacy behaviour:
+	// failed actions are dropped and lost stats queries blank the node out
+	// of the snapshot.
+	Enabled bool
+	// RetryBackoffBase is the delay before the first retry; each further
+	// retry doubles it.
+	RetryBackoffBase time.Duration
+	// RetryBackoffMax caps the exponential backoff.
+	RetryBackoffMax time.Duration
+	// MaxAttempts bounds total executions of one action (first try
+	// included) before it is abandoned.
+	MaxAttempts int
+	// StalenessBound is how old a cached node report may be and still
+	// stand in for a lost stats query.
+	StalenessBound time.Duration
+}
+
+// DefaultHardening returns the default resilience settings: retries start
+// one monitor period (5 s) after the failure, back off to 40 s, give up
+// after 4 attempts, and snapshots tolerate 15 s (three periods) of
+// staleness.
+func DefaultHardening() Hardening {
+	return Hardening{
+		Enabled:          true,
+		RetryBackoffBase: 5 * time.Second,
+		RetryBackoffMax:  40 * time.Second,
+		MaxAttempts:      4,
+		StalenessBound:   15 * time.Second,
+	}
 }
 
 // serviceState tracks a registered microservice.
@@ -36,6 +86,20 @@ type serviceState struct {
 	// replicaIDs lists live container IDs in creation order.
 	replicaIDs []string
 	nextIdx    int
+}
+
+// pendingAction is one failed action awaiting its backoff deadline.
+type pendingAction struct {
+	action core.Action
+	// attempts is the number of executions so far.
+	attempts  int
+	notBefore time.Duration
+}
+
+// cachedReport is a node manager's last successfully delivered report.
+type cachedReport struct {
+	rep nodemanager.Report
+	at  time.Duration
 }
 
 // Monitor is the central arbiter. Single-goroutine, like the rest of the
@@ -56,18 +120,29 @@ type Monitor struct {
 	// scale-in. Nil is allowed.
 	OnRemovalFailure func(*workload.Request)
 
+	// Faults injects control-plane failures; nil injects nothing.
+	Faults *faults.Injector
+
+	// Hardening configures retry/backoff and graceful degradation.
+	Hardening Hardening
+
+	retries     []pendingAction
+	lastReports map[string]cachedReport
+
 	counts ActionCounts
 }
 
 // New wires a monitor to the cluster, creating one node manager per node,
-// and installs the scaling algorithm.
+// and installs the scaling algorithm. Hardening defaults on.
 func New(cl *cluster.Cluster, algo core.Algorithm) *Monitor {
 	m := &Monitor{
-		cluster:    cl,
-		nmByID:     make(map[string]*nodemanager.Manager),
-		algo:       algo,
-		byName:     make(map[string]*serviceState),
-		StartDelay: time.Second,
+		cluster:     cl,
+		nmByID:      make(map[string]*nodemanager.Manager),
+		algo:        algo,
+		byName:      make(map[string]*serviceState),
+		StartDelay:  time.Second,
+		Hardening:   DefaultHardening(),
+		lastReports: make(map[string]cachedReport),
 	}
 	for _, n := range cl.Nodes() {
 		nm := nodemanager.New(n)
@@ -83,6 +158,9 @@ func (m *Monitor) Algorithm() core.Algorithm { return m.algo }
 // Counts returns the cumulative action counters.
 func (m *Monitor) Counts() ActionCounts { return m.counts }
 
+// PendingRetries returns the number of actions waiting in the retry queue.
+func (m *Monitor) PendingRetries() int { return len(m.retries) }
+
 // DetachNode drops the node manager of a failed machine so the Monitor
 // stops querying it. Call after cluster.RemoveNode. Unknown IDs are a no-op.
 func (m *Monitor) DetachNode(nodeID string) {
@@ -90,6 +168,7 @@ func (m *Monitor) DetachNode(nodeID string) {
 		return
 	}
 	delete(m.nmByID, nodeID)
+	delete(m.lastReports, nodeID)
 	for i, nm := range m.nms {
 		if nm.NodeID() == nodeID {
 			m.nms = append(m.nms[:i], m.nms[i+1:]...)
@@ -143,7 +222,8 @@ func (m *Monitor) AddService(spec workload.ServiceSpec, targetUtil float64) erro
 // across the least-loaded nodes. Initial deployments are warm: the replicas
 // are ready immediately, modelling services already running before the
 // experiment's measurement window opens (only autoscaler-initiated
-// scale-outs pay the container start latency).
+// scale-outs pay the container start latency, and only those see injected
+// faults).
 func (m *Monitor) DeployInitial(service string, now time.Duration) error {
 	st, ok := m.byName[service]
 	if !ok {
@@ -169,7 +249,7 @@ func (m *Monitor) StartReplica(service, nodeID string, alloc resources.Vector, n
 	if !ok {
 		return fmt.Errorf("monitor: unknown service %q", service)
 	}
-	return m.startReplica(st, nodeID, alloc, now)
+	return m.startReplica(st, nodeID, alloc, now, 0)
 }
 
 // leastLoadedNode returns the node with the most available CPU that fits
@@ -212,22 +292,67 @@ func (m *Monitor) Sample() {
 	}
 }
 
-// Poll executes one monitoring period: query all NMs, build the snapshot,
-// ask the algorithm for a plan, and apply it.
+// Poll executes one monitoring period: re-attempt due retries, query all
+// NMs, build the snapshot, ask the algorithm for a plan, and apply it.
+// Retries run before the snapshot so replicas they start are visible to the
+// algorithm and not double-provisioned.
 func (m *Monitor) Poll(now time.Duration) {
+	m.drainRetries(now)
 	snap := m.Snapshot(now)
 	plan := m.algo.Decide(snap)
 	m.Apply(plan, now)
 }
 
-// Snapshot assembles the cluster-wide view from NM reports.
+// drainRetries re-executes every pending action whose backoff deadline has
+// passed, in the order the failures occurred.
+func (m *Monitor) drainRetries(now time.Duration) {
+	if len(m.retries) == 0 {
+		return
+	}
+	var due []pendingAction
+	kept := m.retries[:0]
+	for _, p := range m.retries {
+		if p.notBefore <= now {
+			due = append(due, p)
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	for i := len(kept); i < len(m.retries); i++ {
+		m.retries[i] = pendingAction{}
+	}
+	m.retries = kept
+	for _, p := range due {
+		m.counts.Retries++
+		m.execute(p.action, now, p.attempts)
+	}
+}
+
+// Snapshot assembles the cluster-wide view from NM reports. A report whose
+// stats query was dropped is replaced by the node's last-known report when
+// hardening allows (within StalenessBound); otherwise the node is absent
+// from the snapshot this period, exactly as if its manager were offline.
 func (m *Monitor) Snapshot(now time.Duration) core.Snapshot {
 	snap := core.Snapshot{Now: now}
 
 	// One report per node; index container stats for replica lookup.
 	statsByID := make(map[string]nodemanager.ContainerStats)
 	for _, nm := range m.nms {
-		rep := nm.Report()
+		id := nm.NodeID()
+		var rep nodemanager.Report
+		if m.Faults.StatsDropped(now, id) {
+			nm.NoteMissedQuery()
+			cached, ok := m.lastReports[id]
+			if !m.Hardening.Enabled || !ok || now-cached.at > m.Hardening.StalenessBound {
+				// No usable data: the node vanishes from this snapshot.
+				continue
+			}
+			rep = cached.rep
+			m.counts.StaleSnapshots++
+		} else {
+			rep = nm.Report()
+			m.lastReports[id] = cachedReport{rep: rep, at: now}
+		}
 		ns := core.NodeStats{ID: rep.NodeID, Capacity: rep.Capacity, Available: rep.Available}
 		seen := make(map[string]bool)
 		for _, cs := range rep.Containers {
@@ -270,36 +395,96 @@ func (m *Monitor) Snapshot(now time.Duration) core.Snapshot {
 // Apply executes a plan action-by-action.
 func (m *Monitor) Apply(plan core.Plan, now time.Duration) {
 	for _, a := range plan.Actions {
-		switch act := a.(type) {
-		case core.VerticalScale:
-			c, _ := m.cluster.FindContainer(act.ContainerID)
-			if c == nil || c.State == container.StateRemoved {
-				continue
-			}
-			if nm := m.nmByID[c.NodeID]; nm != nil {
-				if err := nm.ApplyVertical(act.ContainerID, act.NewAlloc); err == nil {
-					m.counts.Vertical++
-				}
-			}
-		case core.ScaleOut:
-			st, ok := m.byName[act.Service]
-			if !ok {
-				continue
-			}
-			if err := m.startReplica(st, act.NodeID, act.Alloc, now); err != nil {
-				m.counts.PlacementFailures++
-				continue
-			}
-		case core.ScaleIn:
-			m.removeReplica(act.ContainerID)
-		}
+		m.execute(a, now, 0)
 	}
 }
 
-func (m *Monitor) startReplica(st *serviceState, nodeID string, alloc resources.Vector, now time.Duration) error {
+// execute runs one attempt of an action; attempts counts prior executions.
+// Faulted or placement-failed attempts are requeued with backoff (when
+// hardening is enabled) or abandoned.
+func (m *Monitor) execute(a core.Action, now time.Duration, attempts int) {
+	switch act := a.(type) {
+	case core.VerticalScale:
+		c, _ := m.cluster.FindContainer(act.ContainerID)
+		if c == nil || c.State == container.StateRemoved {
+			return // target gone; the action is moot, not failed
+		}
+		nm := m.nmByID[c.NodeID]
+		if nm == nil {
+			return
+		}
+		if m.Faults.VerticalFails(now, act.ContainerID) {
+			m.requeue(a, now, attempts)
+			return
+		}
+		if err := nm.ApplyVertical(act.ContainerID, act.NewAlloc); err == nil {
+			m.counts.Vertical++
+		}
+	case core.ScaleOut:
+		st, ok := m.byName[act.Service]
+		if !ok {
+			return
+		}
+		// A retried scale-out may have been overtaken by the algorithm's
+		// own fresh decisions; never push past the replica ceiling.
+		if attempts > 0 && len(m.Replicas(act.Service)) >= st.spec.MaxReplicas {
+			return
+		}
+		key := fmt.Sprintf("%s/%d", act.Service, st.nextIdx)
+		fail, slowBy := m.Faults.StartFault(now, key)
+		if fail {
+			m.requeue(a, now, attempts)
+			return
+		}
+		err := m.startReplica(st, act.NodeID, act.Alloc, now, slowBy)
+		if err != nil && attempts > 0 {
+			// The originally chosen node filled up while the action waited;
+			// fall back to the best currently fitting node.
+			if alt := m.leastLoadedNode(act.Alloc); alt != "" && alt != act.NodeID {
+				err = m.startReplica(st, alt, act.Alloc, now, slowBy)
+			}
+		}
+		if err != nil {
+			m.counts.PlacementFailures++
+			m.requeue(a, now, attempts)
+		}
+	case core.ScaleIn:
+		m.removeReplica(act.ContainerID)
+	}
+}
+
+// requeue schedules another attempt of a failed action with capped
+// exponential backoff, or abandons it when the budget is spent (or
+// hardening is off).
+func (m *Monitor) requeue(a core.Action, now time.Duration, attempts int) {
+	executed := attempts + 1
+	if !m.Hardening.Enabled || executed >= m.Hardening.MaxAttempts {
+		m.counts.AbandonedActions++
+		return
+	}
+	backoff := m.Hardening.RetryBackoffBase
+	for i := 1; i < executed; i++ {
+		backoff *= 2
+		if backoff >= m.Hardening.RetryBackoffMax {
+			backoff = m.Hardening.RetryBackoffMax
+			break
+		}
+	}
+	if backoff > m.Hardening.RetryBackoffMax {
+		backoff = m.Hardening.RetryBackoffMax
+	}
+	m.retries = append(m.retries, pendingAction{
+		action:    a,
+		attempts:  executed,
+		notBefore: now + backoff,
+	})
+}
+
+func (m *Monitor) startReplica(st *serviceState, nodeID string, alloc resources.Vector, now time.Duration, slowBy time.Duration) error {
 	// Stateful services pay the state-transfer time on top of the container
-	// start latency (§IV-B's motivation for preferring vertical scaling).
-	return m.startReplicaWithReady(st, nodeID, alloc, now+m.StartDelay+st.spec.SyncDelay(), false)
+	// start latency (§IV-B's motivation for preferring vertical scaling);
+	// injected slow starts stretch readiness further.
+	return m.startReplicaWithReady(st, nodeID, alloc, now+m.StartDelay+st.spec.SyncDelay()+slowBy, false)
 }
 
 // startReplicaAt starts a replica that is ready immediately (warm initial
@@ -320,6 +505,7 @@ func (m *Monitor) startReplicaWithReady(st *serviceState, nodeID string, alloc r
 		c.MaybeStart(readyAt)
 	}
 	if err := node.AddContainer(c); err != nil {
+		st.nextIdx-- // the slot was never used; keep IDs dense
 		return err
 	}
 	st.replicaIDs = append(st.replicaIDs, id)

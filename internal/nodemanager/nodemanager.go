@@ -44,6 +44,8 @@ type Manager struct {
 	// reports.
 	sums   map[string]resources.Vector
 	counts map[string]int
+
+	missedQueries uint64
 }
 
 // New attaches a manager to its node.
@@ -97,6 +99,15 @@ func (m *Manager) Report() Report {
 	m.counts = make(map[string]int)
 	return rep
 }
+
+// NoteMissedQuery records a stats query whose answer never reached the
+// Monitor. The sampling window is left intact, so the usage accumulated
+// during the outage lands in the next successful Report — nothing is lost,
+// only delayed.
+func (m *Manager) NoteMissedQuery() { m.missedQueries++ }
+
+// MissedQueries returns how many stats queries were dropped in transit.
+func (m *Manager) MissedQueries() uint64 { return m.missedQueries }
 
 // ApplyVertical executes a `docker update` on a hosted container.
 func (m *Manager) ApplyVertical(containerID string, alloc resources.Vector) error {

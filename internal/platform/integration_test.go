@@ -8,10 +8,12 @@ package platform
 import (
 	"fmt"
 	"testing"
+	"testing/quick"
 	"time"
 
 	"hyscale/internal/cluster"
 	"hyscale/internal/core"
+	"hyscale/internal/faults"
 	"hyscale/internal/loadgen"
 	"hyscale/internal/sim"
 	"hyscale/internal/workload"
@@ -147,6 +149,66 @@ func TestIntegrationRequestConservation(t *testing.T) {
 	s := w.Summary()
 	if got := s.Completed + s.RemovalFailures + s.ConnectionFailures; got != n {
 		t.Errorf("accounted requests = %d, want %d (conservation)", got, n)
+	}
+}
+
+// TestIntegrationConservationUnderFaults is the property-test form of
+// request conservation: no matter which fault mix the injector draws —
+// failed verticals, failed or slow starts, dropped stats, black-holed
+// backends, hardening on or off — every injected request must still be
+// accounted exactly once as completed, removal failure, or connection
+// failure.
+func TestIntegrationConservationUnderFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	prop := func(seed int64, pVert, pStart, pSlow, pStats, pDown uint8, hardened bool) bool {
+		// Map raw bytes into valid probabilities; keep start-failure below
+		// ~0.7 so min-replica deployment cannot starve forever.
+		p := func(b uint8, max float64) float64 { return max * float64(b) / 255 }
+		cfg := DefaultConfig(seed)
+		cfg.Nodes = 4
+		cfg.Faults = faults.Config{
+			Seed:             seed + 1,
+			VerticalFailProb: p(pVert, 1.0),
+			StartFailProb:    p(pStart, 0.7),
+			StartSlowProb:    p(pSlow, 1.0),
+			StartSlowBy:      6 * time.Second,
+			StatsDropProb:    p(pStats, 1.0),
+			BackendDownProb:  p(pDown, 0.5),
+			BackendDownFor:   8 * time.Second,
+			BackendDownEvery: 30 * time.Second,
+		}
+		cfg.HardeningOff = !hardened
+		w, err := New(cfg, core.NewKubernetes(core.DefaultConfig()))
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if err := w.AddService(cpuSpec("a"), 0.5, nil); err != nil {
+			t.Log(err)
+			return false
+		}
+		const n = 300
+		if err := w.InjectRequests(time.Second, 30*time.Second, "a", n); err != nil {
+			t.Log(err)
+			return false
+		}
+		if err := w.RunUntilDrained(31*time.Second, 3*time.Minute); err != nil {
+			t.Log(err)
+			return false
+		}
+		s := w.Summary()
+		got := s.Completed + s.RemovalFailures + s.ConnectionFailures
+		if got != n {
+			t.Logf("seed=%d faults=%+v hardened=%v: accounted %d of %d",
+				seed, cfg.Faults, hardened, got, n)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
 	}
 }
 

@@ -5,6 +5,7 @@
 package platform
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"hyscale/internal/container"
 	"hyscale/internal/core"
 	"hyscale/internal/cost"
+	"hyscale/internal/faults"
 	"hyscale/internal/lb"
 	"hyscale/internal/loadgen"
 	"hyscale/internal/metrics"
@@ -50,6 +52,13 @@ type Config struct {
 	// Cost prices the run (machine-hours + SLA penalties); see the cost
 	// package. The default uses cost.DefaultConfig.
 	Cost cost.Config
+	// Faults configures control-plane fault injection; the zero value
+	// injects nothing and leaves every hot path untouched.
+	Faults faults.Config
+	// HardeningOff disables the control plane's resilience mechanisms
+	// (Monitor retry/backoff, stale-snapshot degradation, LB health checks)
+	// so experiments can measure what the hardening buys.
+	HardeningOff bool
 }
 
 // DefaultConfig mirrors the paper's experimental setup: 24 nodes minus the
@@ -77,6 +86,19 @@ type serviceRuntime struct {
 	gen  *loadgen.Generator
 }
 
+// ConnFailureBreakdown attributes connection failures recorded at routing
+// time to their cause — the distinction the chaos experiment reports.
+type ConnFailureBreakdown struct {
+	// Starting: replicas existed but all were still mid-start.
+	Starting uint64
+	// Absent: no viable replica at all (none exist, or every one was
+	// overloaded or health-ejected).
+	Absent uint64
+	// Unhealthy: the balancer picked a backend that was black-holing
+	// connections (injected outage not yet detected by health probes).
+	Unhealthy uint64
+}
+
 // World is one fully-wired experiment instance.
 type World struct {
 	cfg     Config
@@ -91,6 +113,8 @@ type World struct {
 
 	recorder *metrics.Recorder
 	costs    *cost.Tracker
+	faults   *faults.Injector
+	connFail ConnFailureBreakdown
 
 	// ReplicaSeries records per-service replica counts at each monitor
 	// poll, for the resource-efficiency analyses.
@@ -136,6 +160,20 @@ func New(cfg Config, algo core.Algorithm) (*World, error) {
 	w.monitor.OnRemovalFailure = func(r *workload.Request) {
 		w.recorder.RecordFailure(r.Service, workload.FailureRemoval)
 		w.costs.ObserveFailure()
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, err
+	}
+	w.faults = faults.New(cfg.Faults)
+	w.monitor.Faults = w.faults
+	if cfg.HardeningOff {
+		w.monitor.Hardening.Enabled = false
+	} else if w.faults.Enabled() {
+		// The hardened balancer probes backends against the injected outage
+		// schedule; the unhardened one routes blind and eats the failures.
+		w.lb.HealthCheck = func(now time.Duration, c *container.Container) bool {
+			return !w.faults.BackendDown(now, c.ID)
+		}
 	}
 	return w, nil
 }
@@ -235,9 +273,23 @@ func (w *World) InjectRequests(at time.Duration, window time.Duration, service s
 // route sends one request through the load balancer.
 func (w *World) route(req *workload.Request) {
 	req.ExtraLatency += w.cfg.BaseLatency
+	now := w.engine.Now()
 	replicas := w.monitor.Replicas(req.Service)
-	target, err := w.lb.Route(req, replicas)
+	target, err := w.lb.RouteAt(now, req, replicas)
 	if err != nil {
+		if errors.Is(err, lb.ErrAllStarting) {
+			w.connFail.Starting++
+		} else {
+			w.connFail.Absent++
+		}
+		w.recorder.RecordFailure(req.Service, workload.FailureConnection)
+		w.costs.ObserveFailure()
+		return
+	}
+	if w.faults.BackendDown(now, target.ID) {
+		// The chosen backend is black-holing connections — an outage the
+		// balancer's probes have not (or, unhardened, will never) notice.
+		w.connFail.Unhealthy++
 		w.recorder.RecordFailure(req.Service, workload.FailureConnection)
 		w.costs.ObserveFailure()
 		return
@@ -357,6 +409,13 @@ func (w *World) inflight() int {
 
 // Summary returns the aggregate user-perceived performance report.
 func (w *World) Summary() metrics.Summary { return w.recorder.Summarize() }
+
+// FaultInjector exposes the fault-injection layer (nil when faults are
+// disabled) — experiments probe it for uptime accounting.
+func (w *World) FaultInjector() *faults.Injector { return w.faults }
+
+// ConnFailures returns the routing-time connection-failure breakdown.
+func (w *World) ConnFailures() ConnFailureBreakdown { return w.connFail }
 
 // CostReport prices the run so far (machine-hours + SLA penalties).
 func (w *World) CostReport() cost.Report { return w.costs.Report() }

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"hyscale/internal/core"
+	"hyscale/internal/faults"
 	"hyscale/internal/loadgen"
 	"hyscale/internal/platform"
 	"hyscale/internal/workload"
@@ -220,6 +221,73 @@ type NodeFailure struct {
 	At   Duration `json:"at"`
 }
 
+// FaultWindow forces one fault kind during an interval — see faults.Window.
+type FaultWindow struct {
+	// Kind is one of vertical|start|stats|backend.
+	Kind string `json:"kind"`
+	// Target narrows the window to one container/service/node; empty hits
+	// every target.
+	Target string   `json:"target,omitempty"`
+	From   Duration `json:"from"`
+	To     Duration `json:"to"`
+}
+
+// Faults declares control-plane fault injection for a scenario.
+type Faults struct {
+	// Seed decorrelates the fault schedule from the scenario seed; zero
+	// reuses the scenario seed.
+	Seed int64 `json:"seed,omitempty"`
+
+	VerticalFailProb float64 `json:"verticalFailProb,omitempty"`
+
+	StartFailProb float64  `json:"startFailProb,omitempty"`
+	StartSlowProb float64  `json:"startSlowProb,omitempty"`
+	StartSlowBy   Duration `json:"startSlowBy,omitempty"`
+
+	StatsDropProb float64 `json:"statsDropProb,omitempty"`
+
+	BackendDownProb  float64  `json:"backendDownProb,omitempty"`
+	BackendDownFor   Duration `json:"backendDownFor,omitempty"`
+	BackendDownEvery Duration `json:"backendDownEvery,omitempty"`
+
+	Windows []FaultWindow `json:"windows,omitempty"`
+
+	// Hardening toggles the control plane's resilience mechanisms; omitted
+	// means enabled.
+	Hardening *bool `json:"hardening,omitempty"`
+}
+
+// Config materialises the fault declaration.
+func (f *Faults) Config(scenarioSeed int64) faults.Config {
+	if f == nil {
+		return faults.Config{}
+	}
+	seed := f.Seed
+	if seed == 0 {
+		seed = scenarioSeed
+	}
+	cfg := faults.Config{
+		Seed:             seed,
+		VerticalFailProb: f.VerticalFailProb,
+		StartFailProb:    f.StartFailProb,
+		StartSlowProb:    f.StartSlowProb,
+		StartSlowBy:      time.Duration(f.StartSlowBy),
+		StatsDropProb:    f.StatsDropProb,
+		BackendDownProb:  f.BackendDownProb,
+		BackendDownFor:   time.Duration(f.BackendDownFor),
+		BackendDownEvery: time.Duration(f.BackendDownEvery),
+	}
+	for _, w := range f.Windows {
+		cfg.Windows = append(cfg.Windows, faults.Window{
+			Kind:   faults.Kind(w.Kind),
+			Target: w.Target,
+			From:   time.Duration(w.From),
+			To:     time.Duration(w.To),
+		})
+	}
+	return cfg
+}
+
 // Scenario is a complete experiment description.
 type Scenario struct {
 	Seed      int64   `json:"seed"`
@@ -236,6 +304,8 @@ type Scenario struct {
 
 	Services []Service     `json:"services"`
 	Failures []NodeFailure `json:"failures,omitempty"`
+	// Faults declares control-plane fault injection (nil injects nothing).
+	Faults *Faults `json:"faults,omitempty"`
 }
 
 // Parse reads a scenario from JSON, rejecting unknown fields so typos
@@ -277,6 +347,9 @@ func (sc *Scenario) Validate() error {
 			return fmt.Errorf("scenario: service %q: %w", s.Name, err)
 		}
 	}
+	if err := sc.Faults.Config(sc.Seed).Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -294,6 +367,10 @@ func (sc *Scenario) Build() (*platform.World, error) {
 	}
 	if sc.MonitorPeriod > 0 {
 		cfg.MonitorPeriod = time.Duration(sc.MonitorPeriod)
+	}
+	cfg.Faults = sc.Faults.Config(sc.Seed)
+	if sc.Faults != nil && sc.Faults.Hardening != nil {
+		cfg.HardeningOff = !*sc.Faults.Hardening
 	}
 
 	var algo core.Algorithm
