@@ -1,15 +1,20 @@
-// Command hyscale-sim runs a single ad-hoc autoscaling simulation and prints
+// Command hyscale-sim runs ad-hoc autoscaling simulations and prints
 // per-service and aggregate request statistics — a quick way to explore how
 // the algorithms behave outside the paper's fixed experiment grid.
 //
+// The -algo flag accepts a comma-separated list; each algorithm compiles to
+// its own RunSpec and the specs fan out across -parallel workers with
+// identical results for any worker count:
+//
 //	hyscale-sim -algo hybridmem -kind mixed -services 10 -duration 20m
-//	hyscale-sim -algo kubernetes -kind cpu -rps 20 -load burst
+//	hyscale-sim -algo kubernetes,hybrid,hybridmem -parallel 3 -kind cpu -rps 20 -load burst
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"hyscale"
@@ -20,7 +25,7 @@ import (
 
 func main() {
 	var (
-		algo     = flag.String("algo", "hybridmem", "autoscaler: kubernetes|network|hybrid|hybridmem|none")
+		algo     = flag.String("algo", "hybridmem", "autoscaler(s), comma-separated: kubernetes|network|hybrid|hybridmem|none")
 		kind     = flag.String("kind", "cpu", "service kind: cpu|mem|net|mixed")
 		services = flag.Int("services", 5, "number of microservices")
 		nodes    = flag.Int("nodes", 19, "worker nodes")
@@ -28,6 +33,7 @@ func main() {
 		load     = flag.String("load", "wave", "load pattern: constant|wave|burst")
 		duration = flag.Duration("duration", 15*time.Minute, "simulated duration")
 		seed     = flag.Int64("seed", 1, "random seed")
+		parallel = flag.Int("parallel", 0, "max runs in flight when comparing algorithms (<=0 uses GOMAXPROCS)")
 		config   = flag.String("config", "", "run a JSON scenario file instead of the flag-built workload (see scenarios/)")
 	)
 	flag.Parse()
@@ -37,16 +43,8 @@ func main() {
 		return
 	}
 
-	sim, err := hyscale.NewSimulation(hyscale.SimConfig{
-		Seed:      *seed,
-		Nodes:     *nodes,
-		Algorithm: hyscale.AlgorithmName(*algo),
-	})
-	if err != nil {
-		fatal(err)
-	}
-
 	names := make([]string, 0, *services)
+	var runs []hyscale.ServiceRun
 	for i := 0; i < *services; i++ {
 		name := fmt.Sprintf("svc-%02d", i)
 		var spec workload.ServiceSpec
@@ -73,25 +71,48 @@ func main() {
 		default:
 			fatal(fmt.Errorf("unknown load %q", *load))
 		}
-		if err := sim.AddService(spec, 0.5, pattern); err != nil {
-			fatal(err)
-		}
+		runs = append(runs, hyscale.ServiceRun{Spec: spec, Target: 0.5, Load: hyscale.LoadSpecFor(pattern)})
 		names = append(names, name)
 	}
 
-	if err := sim.Run(*duration); err != nil {
+	algos := strings.Split(*algo, ",")
+	specs := make([]hyscale.RunSpec, 0, len(algos))
+	for _, a := range algos {
+		a = strings.TrimSpace(a)
+		spec := hyscale.NewRunSpec("sim/"+a, hyscale.SimConfig{
+			Seed:      *seed,
+			Nodes:     *nodes,
+			Algorithm: hyscale.AlgorithmName(a),
+		}, *duration)
+		spec.Label = a
+		spec.Services = runs
+		specs = append(specs, spec)
+	}
+
+	results, timings, err := hyscale.ExecuteSpecs(*parallel, *seed, specs)
+	if err != nil {
 		fatal(err)
 	}
 
-	fmt.Printf("algorithm=%s kind=%s services=%d nodes=%d duration=%v\n\n", *algo, *kind, *services, *nodes, *duration)
-	for _, name := range names {
-		s := sim.ServiceReport(name)
-		fmt.Printf("%-8s %s  replicas=%d\n", name, s, sim.Replicas(name))
+	for i, res := range results {
+		fmt.Printf("algorithm=%s kind=%s services=%d nodes=%d duration=%v\n\n",
+			res.Spec.RowLabel(), *kind, *services, *nodes, *duration)
+		for _, name := range names {
+			s := res.World.Recorder().SummarizeService(name)
+			fmt.Printf("%-8s %s  replicas=%d\n", name, s, len(res.World.Monitor().Replicas(name)))
+		}
+		fmt.Printf("\nTOTAL    %s\n", res.Summary)
+		a := res.Actions
+		fmt.Printf("actions: scale-outs=%d scale-ins=%d vertical=%d placement-failures=%d\n",
+			a.ScaleOuts, a.ScaleIns, a.Vertical, a.PlacementFailures)
+		if res.ClampedEvents > 0 {
+			fmt.Printf("warning: %d events clamped to now (stale-timestamp scheduling)\n", res.ClampedEvents)
+		}
+		fmt.Printf("wall time: %v\n", timings[i].Elapsed.Round(time.Millisecond))
+		if i < len(results)-1 {
+			fmt.Println()
+		}
 	}
-	fmt.Printf("\nTOTAL    %s\n", sim.Report())
-	a := sim.Actions()
-	fmt.Printf("actions: scale-outs=%d scale-ins=%d vertical=%d placement-failures=%d\n",
-		a.ScaleOuts, a.ScaleIns, a.Vertical, a.PlacementFailures)
 }
 
 // runScenario executes a declarative JSON scenario file.

@@ -42,6 +42,7 @@ import (
 	"hyscale/internal/metrics"
 	"hyscale/internal/monitor"
 	"hyscale/internal/platform"
+	"hyscale/internal/runner"
 	"hyscale/internal/workload"
 )
 
@@ -64,23 +65,15 @@ const (
 
 // NewAlgorithm constructs a scaling algorithm with the paper's default
 // parameters (5 s decisions, 3 s/50 s rescale intervals, 0.1 tolerance,
-// 0.1/0.25 CPU thresholds).
+// 0.1/0.25 CPU thresholds). Beyond the four base names it accepts the
+// runner's ablation suffixes ("hybridmem-noreclaim", ...) and the
+// "-predictive" wrapper. AlgoNone (and "") returns a nil algorithm.
 func NewAlgorithm(name AlgorithmName) (core.Algorithm, error) {
-	cfg := core.DefaultConfig()
-	switch name {
-	case AlgoKubernetes:
-		return core.NewKubernetes(cfg), nil
-	case AlgoNetwork:
-		return core.NewNetworkHPA(cfg), nil
-	case AlgoHyScaleCPU:
-		return core.NewHyScaleCPU(cfg), nil
-	case AlgoHyScaleCPUMem:
-		return core.NewHyScaleCPUMem(cfg), nil
-	case AlgoNone:
-		return nil, nil
-	default:
-		return nil, fmt.Errorf("hyscale: unknown algorithm %q", name)
+	algo, err := runner.NewAlgorithm(string(name), core.DefaultConfig())
+	if err != nil {
+		return nil, fmt.Errorf("hyscale: %w", err)
 	}
+	return algo, nil
 }
 
 // SimConfig configures a Simulation. Zero-valued fields fall back to the
@@ -123,8 +116,9 @@ type Simulation struct {
 	world *platform.World
 }
 
-// NewSimulation builds a simulation from cfg.
-func NewSimulation(cfg SimConfig) (*Simulation, error) {
+// platformConfig lowers the public SimConfig onto the internal platform
+// configuration, filling paper defaults for zero-valued fields.
+func (cfg SimConfig) platformConfig() platform.Config {
 	pc := platform.DefaultConfig(cfg.Seed)
 	if cfg.Nodes > 0 {
 		pc.Nodes = cfg.Nodes
@@ -144,17 +138,26 @@ func NewSimulation(cfg SimConfig) (*Simulation, error) {
 	}
 	pc.Faults = cfg.Faults
 	pc.HardeningOff = cfg.DisableHardening
-	name := cfg.Algorithm
-	if name == "" {
-		name = AlgoHyScaleCPUMem
+	return pc
+}
+
+// algorithmName returns the configured algorithm, defaulting to the paper's
+// flagship HYSCALE_CPU+Mem.
+func (cfg SimConfig) algorithmName() AlgorithmName {
+	if cfg.Algorithm == "" {
+		return AlgoHyScaleCPUMem
 	}
-	algo, err := NewAlgorithm(name)
+	return cfg.Algorithm
+}
+
+// NewSimulation builds a simulation from cfg. It compiles the config to a
+// RunSpec and materialises it through the same runner layer every experiment
+// uses.
+func NewSimulation(cfg SimConfig) (*Simulation, error) {
+	spec := NewRunSpec("simulation", cfg, 0)
+	w, _, err := runner.Build(spec)
 	if err != nil {
-		return nil, err
-	}
-	w, err := platform.New(pc, algo)
-	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("hyscale: %w", err)
 	}
 	return &Simulation{world: w}, nil
 }
@@ -188,10 +191,65 @@ func (s *Simulation) Replicas(service string) int {
 	return len(s.world.Monitor().Replicas(service))
 }
 
+// ClampedEvents counts simulator events that had to be clamped to "now"
+// because a component scheduled them in the past. Non-zero values flag
+// stale-timestamp bugs in custom scenario code.
+func (s *Simulation) ClampedEvents() uint64 { return s.world.ClampedEvents() }
+
 // World exposes the underlying platform for advanced scenarios (manual
 // placement, stress containers, custom events). Most callers should not
 // need it.
 func (s *Simulation) World() *platform.World { return s.world }
+
+// --- RunSpec layer ----------------------------------------------------------
+
+// RunSpec is the serializable description of one complete run — the unit the
+// executor fans out. See internal/runner for the field reference.
+type RunSpec = runner.RunSpec
+
+// RunResult is everything one RunSpec produces.
+type RunResult = runner.Result
+
+// ServiceRun couples a service spec with its target utilization and load.
+type ServiceRun = runner.ServiceRun
+
+// LoadSpec is the declarative form of a load pattern.
+type LoadSpec = runner.LoadSpec
+
+// RunTiming is one run's wall-clock cost, reported by ExecuteSpecs.
+type RunTiming = runner.Timing
+
+// LoadSpecFor reflects a concrete load pattern into its declarative spec.
+func LoadSpecFor(p loadgen.Pattern) LoadSpec { return runner.FromPattern(p) }
+
+// NewRunSpec compiles a SimConfig into a RunSpec with the given name and
+// simulated duration. Services can then be appended declaratively:
+//
+//	spec := hyscale.NewRunSpec("api-wave", hyscale.SimConfig{Seed: 1}, 30*time.Minute)
+//	spec.Services = append(spec.Services, hyscale.ServiceRun{
+//		Spec:   hyscale.CPUBoundService("api", 0.12),
+//		Target: 0.5,
+//		Load:   hyscale.LoadSpecFor(hyscale.WaveLoad(12, 0.3, 8*time.Minute)),
+//	})
+//	results, timings, err := hyscale.ExecuteSpecs(0, 1, []hyscale.RunSpec{spec})
+func NewRunSpec(name string, cfg SimConfig, duration time.Duration) RunSpec {
+	return RunSpec{
+		Name:      name,
+		Seed:      cfg.Seed,
+		Platform:  cfg.platformConfig(),
+		Algorithm: string(cfg.algorithmName()),
+		Duration:  duration,
+	}
+}
+
+// ExecuteSpecs fans independent RunSpecs across a bounded worker pool
+// (workers <= 0 uses GOMAXPROCS) and returns results in spec order. Output
+// is bit-identical for any worker count: each run is an isolated world, and
+// specs with Seed zero get a seed derived from (rootSeed, spec name) before
+// any worker starts.
+func ExecuteSpecs(workers int, rootSeed int64, specs []RunSpec) ([]RunResult, []RunTiming, error) {
+	return runner.Execute(workers, rootSeed, specs)
+}
 
 // --- Service spec helpers -------------------------------------------------
 

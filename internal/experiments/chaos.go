@@ -8,6 +8,7 @@ import (
 	"hyscale/internal/metrics"
 	"hyscale/internal/monitor"
 	"hyscale/internal/platform"
+	"hyscale/internal/runner"
 	"hyscale/internal/sim"
 	"hyscale/internal/workload"
 )
@@ -108,22 +109,41 @@ func (u *uptimeProbe) percent() float64 {
 	return 100 * float64(u.up) / float64(u.total)
 }
 
-// attach samples every service once per simulated second: a service is up
-// when at least one replica is routable and not inside an injected backend
-// outage.
-func (u *uptimeProbe) attach(w *platform.World, services []serviceLoad) error {
+// attach samples every service in the spec once per simulated second: a
+// service is up when at least one replica is routable and not inside an
+// injected backend outage.
+func (u *uptimeProbe) attach(w *platform.World, spec runner.RunSpec) error {
 	inj := w.FaultInjector()
 	return w.Engine().SchedulePeriodic(time.Second, time.Second, func(e *sim.Engine) {
 		now := e.Now()
-		for _, s := range services {
+		for _, s := range spec.Services {
 			u.total++
-			for _, c := range w.Monitor().Replicas(s.spec.Name) {
+			for _, c := range w.Monitor().Replicas(s.Spec.Name) {
 				if c.Routable() && !inj.BackendDown(now, c.ID) {
 					u.up++
 					break
 				}
 			}
 		}
+	})
+}
+
+// HookChaosUptime is the registered runner hook attaching the uptime probe;
+// its finalizer reports availability as Extra["uptimePercent"].
+const HookChaosUptime = "chaos-uptime"
+
+func init() {
+	runner.RegisterHook(HookChaosUptime, func(w *platform.World, spec runner.RunSpec) (runner.Finalizer, error) {
+		probe := &uptimeProbe{}
+		if err := probe.attach(w, spec); err != nil {
+			return nil, err
+		}
+		return func(res *runner.Result) {
+			if res.Extra == nil {
+				res.Extra = make(map[string]float64)
+			}
+			res.Extra["uptimePercent"] = probe.percent()
+		}, nil
 	})
 }
 
@@ -134,42 +154,55 @@ type chaosCell struct {
 	hardened  bool
 }
 
-// runChaosCells runs the workload once per cell and collects outcomes.
+// compile turns a cell into a RunSpec: the Fig. 6b workload plus a scaled
+// fault mix, optional hardening kill-switch, and the uptime probe hook.
+func (c chaosCell) compile(services []serviceLoad, base faults.Config, opts Options) runner.RunSpec {
+	cfg := platform.DefaultConfig(opts.Seed)
+	cfg.Faults = base.Scaled(c.rate)
+	cfg.HardeningOff = !c.hardened
+	hardened := "hardened"
+	if !c.hardened {
+		hardened = "unhardened"
+	}
+	spec := runner.RunSpec{
+		Name:      fmt.Sprintf("chaos/%s-r%.1f-%s", c.algorithm, c.rate, hardened),
+		Seed:      opts.Seed,
+		Platform:  cfg,
+		Algorithm: c.algorithm,
+		Duration:  macroDuration(opts),
+		Hooks:     []string{HookChaosUptime},
+	}
+	for _, s := range services {
+		spec.Services = append(spec.Services, runner.ServiceRun{
+			Spec: s.spec, Target: s.target, Load: runner.FromPattern(s.pattern),
+		})
+	}
+	return spec
+}
+
+// runChaosCells compiles every cell up front, fans them through the
+// executor, and collects outcomes in cell order.
 func runChaosCells(name string, services []serviceLoad, cells []chaosCell, opts Options) (*ChaosResult, error) {
 	res := &ChaosResult{Name: name}
 	base := ChaosFaults(opts.Seed + 1000)
-	for _, cell := range cells {
-		algo, err := newAlgorithm(cell.algorithm)
-		if err != nil {
-			return nil, err
-		}
-		cfg := platform.DefaultConfig(opts.Seed)
-		cfg.Faults = base.Scaled(cell.rate)
-		cfg.HardeningOff = !cell.hardened
-		w, err := platform.New(cfg, algo)
-		if err != nil {
-			return nil, err
-		}
-		for _, s := range services {
-			if err := w.AddService(s.spec, s.target, s.pattern); err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", name, cell.algorithm, err)
-			}
-		}
-		probe := &uptimeProbe{}
-		if err := probe.attach(w, services); err != nil {
-			return nil, err
-		}
-		if err := w.Run(macroDuration(opts)); err != nil {
-			return nil, fmt.Errorf("%s/%s: %w", name, cell.algorithm, err)
-		}
+	specs := make([]runner.RunSpec, len(cells))
+	for i, cell := range cells {
+		specs[i] = cell.compile(services, base, opts)
+	}
+	results, err := execute(specs, opts)
+	if err != nil {
+		return nil, err
+	}
+	for i, cell := range cells {
+		r := results[i]
 		res.Outcomes = append(res.Outcomes, ChaosOutcome{
 			Algorithm:     cell.algorithm,
 			FaultRate:     cell.rate,
 			Hardened:      cell.hardened,
-			Summary:       w.Summary(),
-			Actions:       w.Monitor().Counts(),
-			ConnFail:      w.ConnFailures(),
-			UptimePercent: probe.percent(),
+			Summary:       r.Summary,
+			Actions:       r.Actions,
+			ConnFail:      r.ConnFail,
+			UptimePercent: r.Extra["uptimePercent"],
 		})
 	}
 	return res, nil

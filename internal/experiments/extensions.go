@@ -8,7 +8,7 @@ import (
 	"hyscale/internal/core"
 	"hyscale/internal/lb"
 	"hyscale/internal/loadgen"
-	"hyscale/internal/platform"
+	"hyscale/internal/runner"
 	"hyscale/internal/workload"
 )
 
@@ -51,7 +51,7 @@ func RunAblation(opts Options) (*MacroResult, error) {
 		"Ablation: HYSCALE_CPU+Mem mechanisms (mixed, high-burst)",
 		"ablation",
 		services,
-		[]runSpec{
+		[]macroRow{
 			{algorithm: "hybridmem"},
 			{algorithm: "hybridmem-noreclaim"},
 			{algorithm: "hybridmem-vertical-only"},
@@ -74,7 +74,7 @@ func RunMonitorPeriodSensitivity(opts Options) (*MacroResult, error) {
 		"Sensitivity: monitor period (CPU-bound, high-burst)",
 		"monitor-period",
 		services,
-		[]runSpec{
+		[]macroRow{
 			{label: "kubernetes@5s", algorithm: "kubernetes", monitorPeriod: 5 * time.Second},
 			{label: "hybridmem@5s", algorithm: "hybridmem", monitorPeriod: 5 * time.Second},
 			{label: "hybridmem@15s", algorithm: "hybridmem", monitorPeriod: 15 * time.Second},
@@ -94,7 +94,7 @@ func RunPlacement(opts Options) (*MacroResult, error) {
 		"Placement: spread vs binpack (CPU-bound, low-burst)",
 		"placement",
 		services,
-		[]runSpec{
+		[]macroRow{
 			{label: "kubernetes/spread", algorithm: "kubernetes", placement: core.PlacementSpread},
 			{label: "kubernetes/binpack", algorithm: "kubernetes", placement: core.PlacementBinPack},
 			{label: "hybridmem/spread", algorithm: "hybridmem", placement: core.PlacementSpread},
@@ -126,7 +126,7 @@ func RunStateful(opts Options) (*MacroResult, error) {
 		"Stateful services: 2 GiB state sync per new replica (CPU-bound, high-burst)",
 		"stateful",
 		services,
-		[]runSpec{
+		[]macroRow{
 			{algorithm: "kubernetes"},
 			{algorithm: "hybrid"},
 			{algorithm: "hybridmem"},
@@ -146,7 +146,7 @@ func RunPredictive(opts Options) (*MacroResult, error) {
 		"Predictive scaling: one-period usage extrapolation (CPU-bound, high-burst)",
 		"predictive",
 		services,
-		[]runSpec{
+		[]macroRow{
 			{algorithm: "kubernetes"},
 			{algorithm: "kubernetes-predictive"},
 			{algorithm: "hybridmem"},
@@ -167,7 +167,7 @@ func RunLBPolicy(opts Options) (*MacroResult, error) {
 		"Load balancing: least-outstanding vs weighted (hybridmem, CPU-bound, high-burst)",
 		"lbpolicy",
 		services,
-		[]runSpec{
+		[]macroRow{
 			{label: "hybridmem/least-outstanding", algorithm: "hybridmem", lbPolicy: lb.LeastOutstanding},
 			{label: "hybridmem/weighted", algorithm: "hybridmem", lbPolicy: lb.WeightedLeastOutstanding},
 			{label: "kubernetes/least-outstanding", algorithm: "kubernetes", lbPolicy: lb.LeastOutstanding},
@@ -187,33 +187,30 @@ func RunNodeChurn(opts Options) (*MacroResult, error) {
 	services := makeServices(workload.KindCPUBound, 15, LowBurst, opts.Seed)
 	dur := macroDuration(opts)
 
-	churn := func(w *platform.World) error {
-		// Kill nodes 0..3 at 40% of the run, one second apart.
-		for i := 0; i < 4; i++ {
-			at := time.Duration(float64(dur)*0.4) + time.Duration(i)*time.Second
-			if err := w.ScheduleNodeFailure(at, fmt.Sprintf("node-%d", i)); err != nil {
-				return err
-			}
-		}
-		// Replacement machines join at 70%.
-		for i := 0; i < 4; i++ {
-			at := time.Duration(float64(dur)*0.7) + time.Duration(i)*time.Second
-			cfg := cluster.DefaultNodeConfig(fmt.Sprintf("spare-%d", i))
-			if err := w.ScheduleNodeRecovery(at, cfg); err != nil {
-				return err
-			}
-		}
-		return nil
+	// Kill nodes 0..3 at 40% of the run, one second apart; replacement
+	// machines join at 70%. Declarative RunSpec fields, so the churn schedule
+	// serializes with the spec.
+	var failures []runner.NodeFailure
+	var recoveries []runner.NodeRecovery
+	for i := 0; i < 4; i++ {
+		failures = append(failures, runner.NodeFailure{
+			At:   time.Duration(float64(dur)*0.4) + time.Duration(i)*time.Second,
+			Node: fmt.Sprintf("node-%d", i),
+		})
+		recoveries = append(recoveries, runner.NodeRecovery{
+			At:     time.Duration(float64(dur)*0.7) + time.Duration(i)*time.Second,
+			Config: cluster.DefaultNodeConfig(fmt.Sprintf("spare-%d", i)),
+		})
 	}
 
 	return runMacroSpecs(
 		"Availability: node churn, 4 of 19 workers fail (CPU-bound, low-burst)",
 		"node-churn",
 		services,
-		[]runSpec{
-			{algorithm: "kubernetes", setup: churn},
-			{algorithm: "hybrid", setup: churn},
-			{algorithm: "hybridmem", setup: churn},
+		[]macroRow{
+			{algorithm: "kubernetes", nodeFailures: failures, nodeRecoveries: recoveries},
+			{algorithm: "hybrid", nodeFailures: failures, nodeRecoveries: recoveries},
+			{algorithm: "hybridmem", nodeFailures: failures, nodeRecoveries: recoveries},
 		},
 		opts,
 	)

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
-	"strings"
 	"time"
 
 	"hyscale/internal/core"
@@ -13,6 +12,7 @@ import (
 	"hyscale/internal/metrics"
 	"hyscale/internal/monitor"
 	"hyscale/internal/platform"
+	"hyscale/internal/runner"
 	"hyscale/internal/workload"
 )
 
@@ -105,52 +105,10 @@ type serviceLoad struct {
 
 // newAlgorithm instantiates a scaling algorithm by report name. Ablation
 // variants are spelled "<base>-noreclaim", "<base>-vertical-only" and
-// "<base>-horizontal-only".
+// "<base>-horizontal-only". The mapping itself lives in runner.NewAlgorithm;
+// this wrapper keeps the historical package-local spelling.
 func newAlgorithm(name string) (core.Algorithm, error) {
-	return newAlgorithmWith(name, core.DefaultConfig())
-}
-
-func newAlgorithmWith(name string, cfg core.Config) (core.Algorithm, error) {
-	// "-predictive" composes with any base algorithm: it wraps the result
-	// with linear usage extrapolation over one monitor period.
-	if inner, ok := strings.CutSuffix(name, "-predictive"); ok {
-		algo, err := newAlgorithmWith(inner, cfg)
-		if err != nil {
-			return nil, err
-		}
-		return core.NewPredictive(algo, 5*time.Second), nil
-	}
-	base, variant, _ := strings.Cut(name, "-")
-	opts := core.HyScaleOptions{}
-	switch variant {
-	case "":
-	case "noreclaim":
-		opts.DisableReclamation = true
-	case "vertical-only":
-		opts.DisableHorizontal = true
-	case "horizontal-only":
-		opts.DisableVertical = true
-	default:
-		return nil, fmt.Errorf("experiments: unknown algorithm variant %q", name)
-	}
-	switch base {
-	case "kubernetes":
-		if variant != "" {
-			return nil, fmt.Errorf("experiments: kubernetes has no variants, got %q", name)
-		}
-		return core.NewKubernetes(cfg), nil
-	case "network":
-		if variant != "" {
-			return nil, fmt.Errorf("experiments: network has no variants, got %q", name)
-		}
-		return core.NewNetworkHPA(cfg), nil
-	case "hybrid":
-		return core.NewHyScaleVariant(cfg, false, opts)
-	case "hybridmem":
-		return core.NewHyScaleVariant(cfg, true, opts)
-	default:
-		return nil, fmt.Errorf("experiments: unknown algorithm %q", name)
-	}
+	return runner.NewAlgorithm(name, core.DefaultConfig())
 }
 
 // macroDuration returns the experiment horizon: one hour at Scale=1.
@@ -158,13 +116,14 @@ func macroDuration(opts Options) time.Duration {
 	return time.Duration(float64(time.Hour) * opts.Scale)
 }
 
-// runSpec parameterises one algorithm run inside a macro experiment beyond
-// the algorithm itself: decision period, placement heuristic, and arbitrary
-// world tweaks (e.g. failure injection).
-type runSpec struct {
+// macroRow parameterises one algorithm run inside a macro experiment beyond
+// the algorithm itself: decision period, placement heuristic, churn schedule
+// and named setup hooks. Each row COMPILES to a runner.RunSpec — the macro
+// experiments are spec compilers, not executors.
+type macroRow struct {
 	// label names the row in the result table; defaults to algorithm.
 	label string
-	// algorithm is the newAlgorithm spelling ("hybridmem-noreclaim", …).
+	// algorithm is the runner.NewAlgorithm spelling ("hybridmem-noreclaim" …).
 	algorithm string
 	// monitorPeriod overrides the 5 s default when non-zero.
 	monitorPeriod time.Duration
@@ -172,69 +131,84 @@ type runSpec struct {
 	placement core.Placement
 	// lbPolicy overrides the load-balancer routing policy when non-zero.
 	lbPolicy lb.Policy
-	// setup, when non-nil, runs after services are deployed and before the
-	// clock starts — the hook for failure injection.
-	setup func(*platform.World) error
+	// nodeFailures / nodeRecoveries schedule machine churn.
+	nodeFailures   []runner.NodeFailure
+	nodeRecoveries []runner.NodeRecovery
+	// hooks names registered runner hooks (world mutations a declarative
+	// field cannot express, e.g. the heterogeneous node swap).
+	hooks []string
 }
 
-func (r runSpec) rowLabel() string {
+func (r macroRow) rowLabel() string {
 	if r.label != "" {
 		return r.label
 	}
 	return r.algorithm
 }
 
+// compile lowers a row to a self-contained RunSpec. Every row of a macro
+// experiment pins the SAME seed (opts.Seed) so all algorithms face an
+// identical arrival sequence — the paper's comparison discipline.
+func (r macroRow) compile(name string, services []serviceLoad, opts Options) runner.RunSpec {
+	cfg := platform.DefaultConfig(opts.Seed)
+	if r.monitorPeriod > 0 {
+		cfg.MonitorPeriod = r.monitorPeriod
+	}
+	if r.lbPolicy != 0 {
+		cfg.LBPolicy = r.lbPolicy
+	}
+	algoCfg := core.DefaultConfig()
+	algoCfg.Placement = r.placement
+	spec := runner.RunSpec{
+		Name:           name + "/" + r.rowLabel(),
+		Label:          r.rowLabel(),
+		Seed:           opts.Seed,
+		Platform:       cfg,
+		Algorithm:      r.algorithm,
+		AlgoConfig:     &algoCfg,
+		Duration:       macroDuration(opts),
+		NodeFailures:   r.nodeFailures,
+		NodeRecoveries: r.nodeRecoveries,
+		Hooks:          r.hooks,
+	}
+	for _, s := range services {
+		spec.Services = append(spec.Services, runner.ServiceRun{
+			Spec: s.spec, Target: s.target, Load: runner.FromPattern(s.pattern),
+		})
+	}
+	return spec
+}
+
 // runMacro runs the given service set under each algorithm and collects the
 // outcomes. The same seed is used for every algorithm so they face an
 // identical arrival sequence.
 func runMacro(name, workloadName string, services []serviceLoad, algorithms []string, opts Options) (*MacroResult, error) {
-	specs := make([]runSpec, len(algorithms))
+	rows := make([]macroRow, len(algorithms))
 	for i, a := range algorithms {
-		specs[i] = runSpec{algorithm: a}
+		rows[i] = macroRow{algorithm: a}
 	}
-	return runMacroSpecs(name, workloadName, services, specs, opts)
+	return runMacroSpecs(name, workloadName, services, rows, opts)
 }
 
 // runMacroSpecs is the generalised macro runner behind runMacro and the
-// extension experiments (ablations, sensitivity, churn).
-func runMacroSpecs(name, workloadName string, services []serviceLoad, specs []runSpec, opts Options) (*MacroResult, error) {
+// extension experiments (ablations, sensitivity, churn): it compiles every
+// row to a RunSpec and fans them through the deterministic executor.
+func runMacroSpecs(name, workloadName string, services []serviceLoad, rows []macroRow, opts Options) (*MacroResult, error) {
+	specs := make([]runner.RunSpec, len(rows))
+	for i, r := range rows {
+		specs[i] = r.compile(name, services, opts)
+	}
+	results, err := execute(specs, opts)
+	if err != nil {
+		return nil, err
+	}
 	res := &MacroResult{Name: name, Workload: workloadName}
-	for _, spec := range specs {
-		algoCfg := core.DefaultConfig()
-		algoCfg.Placement = spec.placement
-		algo, err := newAlgorithmWith(spec.algorithm, algoCfg)
-		if err != nil {
-			return nil, err
-		}
-		cfg := platform.DefaultConfig(opts.Seed)
-		if spec.monitorPeriod > 0 {
-			cfg.MonitorPeriod = spec.monitorPeriod
-		}
-		if spec.lbPolicy != 0 {
-			cfg.LBPolicy = spec.lbPolicy
-		}
-		w, err := platform.New(cfg, algo)
-		if err != nil {
-			return nil, err
-		}
-		for _, s := range services {
-			if err := w.AddService(s.spec, s.target, s.pattern); err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", name, spec.rowLabel(), err)
-			}
-		}
-		if spec.setup != nil {
-			if err := spec.setup(w); err != nil {
-				return nil, fmt.Errorf("%s/%s setup: %w", name, spec.rowLabel(), err)
-			}
-		}
-		if err := w.Run(macroDuration(opts)); err != nil {
-			return nil, fmt.Errorf("%s/%s: %w", name, spec.rowLabel(), err)
-		}
+	for _, r := range results {
 		res.Outcomes = append(res.Outcomes, AlgoOutcome{
-			Algorithm: spec.rowLabel(),
-			Summary:   w.Summary(),
-			Actions:   w.Monitor().Counts(),
-			Cost:      w.CostReport(),
+			Algorithm: r.Spec.RowLabel(),
+			Summary:   r.Summary,
+			Actions:   r.Actions,
+			Cost:      r.Cost,
 		})
 	}
 	return res, nil

@@ -7,6 +7,7 @@ import (
 	"hyscale/internal/lb"
 	"hyscale/internal/platform"
 	"hyscale/internal/resources"
+	"hyscale/internal/runner"
 	"hyscale/internal/workload"
 )
 
@@ -78,84 +79,80 @@ func cpuMicroSpec() workload.ServiceSpec {
 // RunFig2 reproduces Figure 2: 640 requests against a CPU-bound service
 // with equal total CPU (half of one node's cores) split across 1..16
 // replicas on as many machines, each machine shared with a CPU stress
-// container holding the remaining shares.
+// container holding the remaining shares. All seven scenarios compile to
+// RunSpecs up front and fan through the executor.
 func RunFig2(opts Options) (*Fig2Result, error) {
 	opts = opts.scaled()
 	res := &Fig2Result{Replicas: []int{1, 2, 4, 8, 16}}
 
-	// Baseline: whole node to itself.
-	base, err := runCPUMicro(opts, 1, 4, 0)
-	if err != nil {
-		return nil, fmt.Errorf("fig2 baseline: %w", err)
+	// Baseline: whole node to itself. Vertical: half the node, stress takes
+	// the other half. Horizontal: the same 2 cores split over R machines; on
+	// each machine the stress container holds the remaining shares so the
+	// service's total CPU access time stays constant (the paper's share
+	// arithmetic).
+	specs := []runner.RunSpec{
+		cpuMicroRunSpec(opts, "fig2/baseline", 1, 4, 0),
+		cpuMicroRunSpec(opts, "fig2/vertical", 1, 2, 2),
 	}
-	res.BaselineMean = base
-
-	// Vertical: half the node, stress takes the other half.
-	vert, err := runCPUMicro(opts, 1, 2, 2)
-	if err != nil {
-		return nil, fmt.Errorf("fig2 vertical: %w", err)
-	}
-	res.VerticalMean = vert
-
-	// Horizontal: the same 2 cores split over R machines; on each machine
-	// the stress container holds the remaining shares so the service's
-	// total CPU access time stays constant (the paper's share arithmetic).
 	for _, r := range res.Replicas {
 		perReplica := 2.0 / float64(r)
-		m, err := runCPUMicro(opts, r, perReplica, 4-perReplica)
-		if err != nil {
-			return nil, fmt.Errorf("fig2 horizontal %d: %w", r, err)
+		specs = append(specs, cpuMicroRunSpec(opts, fmt.Sprintf("fig2/horizontal-%d", r), r, perReplica, 4-perReplica))
+	}
+	results, err := execute(specs, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range results {
+		if r.Summary.Completed == 0 {
+			return nil, fmt.Errorf("%s: no requests completed", r.Spec.Name)
 		}
-		res.HorizontalMean = append(res.HorizontalMean, m)
+	}
+	res.BaselineMean = results[0].Summary.MeanLatency
+	res.VerticalMean = results[1].Summary.MeanLatency
+	for i := range res.Replicas {
+		res.HorizontalMean = append(res.HorizontalMean, results[2+i].Summary.MeanLatency)
 	}
 	return res, nil
 }
 
-// runCPUMicro runs one Fig-2 scenario and returns the mean response time.
-func runCPUMicro(opts Options, replicas int, cpuEach, stressCPU float64) (time.Duration, error) {
+// cpuMicroRunSpec compiles one Fig-2 scenario: replicas pinned one per node
+// with equal CPU shares, an optional stress contender on every machine, and
+// the paper's fixed 640-request client.
+func cpuMicroRunSpec(opts Options, name string, replicas int, cpuEach, stressCPU float64) runner.RunSpec {
 	cfg := platform.DefaultConfig(opts.Seed)
 	cfg.Nodes = replicas
 	cfg.MonitorPeriod = 0 // no autoscaling: fixed allocations
 	cfg.BaseLatency = 0   // Section III measures microservice execution time directly
 	cfg.LBPolicy = lb.LeastOutstanding
-	w, err := platform.New(cfg, nil)
-	if err != nil {
-		return 0, err
+	svc := cpuMicroSpec()
+	svc.InitialReplicaCPU = cpuEach
+	// 640 requests at ~85 % of the vertical scenario's service capacity.
+	window := 120 * time.Second
+	spec := runner.RunSpec{
+		Name:       name,
+		Seed:       opts.Seed,
+		Platform:   cfg,
+		Duration:   window + 2*time.Second,
+		DrainExtra: 15 * time.Minute,
+		Services:   []runner.ServiceRun{{Spec: svc}},
+		Inject:     []runner.InjectSpec{{At: 2 * time.Second, Window: window, Service: svc.Name, Count: microRequests}},
 	}
-	spec := cpuMicroSpec()
-	spec.InitialReplicaCPU = cpuEach
-	if err := w.AddService(spec, 0, nil); err != nil {
-		return 0, err
-	}
-	// AddService deployed replica 0 on node-0; pin the rest one per node.
+	// AddService deploys replica 0 on node-0; pin the rest one per node.
 	for i := 1; i < replicas; i++ {
-		nodeID := fmt.Sprintf("node-%d", i)
-		if err := w.DeployReplica(spec.Name, nodeID, resources.Vector{CPU: cpuEach, MemMB: spec.InitialReplicaMemMB}); err != nil {
-			return 0, err
-		}
+		spec.Pinned = append(spec.Pinned, runner.PinnedReplica{
+			Service: svc.Name, Node: fmt.Sprintf("node-%d", i),
+			Alloc: resources.Vector{CPU: cpuEach, MemMB: svc.InitialReplicaMemMB},
+		})
 	}
 	if stressCPU > 0 {
 		for i := 0; i < replicas; i++ {
-			nodeID := fmt.Sprintf("node-%d", i)
-			if err := w.AddStressContainer(nodeID, resources.Vector{CPU: stressCPU, MemMB: 64}, 4, 0); err != nil {
-				return 0, err
-			}
+			spec.Stress = append(spec.Stress, runner.StressSpec{
+				Node: fmt.Sprintf("node-%d", i), Alloc: resources.Vector{CPU: stressCPU, MemMB: 64},
+				CPUDemand: 4,
+			})
 		}
 	}
-
-	// 640 requests at ~85 % of the vertical scenario's service capacity.
-	window := 120 * time.Second
-	if err := w.InjectRequests(2*time.Second, window, spec.Name, microRequests); err != nil {
-		return 0, err
-	}
-	if err := w.RunUntilDrained(window+2*time.Second, 15*time.Minute); err != nil {
-		return 0, err
-	}
-	sum := w.Summary()
-	if sum.Completed == 0 {
-		return 0, fmt.Errorf("no requests completed")
-	}
-	return sum.MeanLatency, nil
+	return spec
 }
 
 // MemResult holds the §III-B memory scaling comparison.
@@ -191,28 +188,38 @@ func RunMemScaling(opts Options) (*MemResult, error) {
 		replicas int
 		memEach  float64
 	}
-	for _, sc := range []scenario{{1, 512}, {2, 256}, {4, 128}} {
-		mean, failed, err := runMemMicro(opts, sc.replicas, sc.memEach)
-		if err != nil {
-			return nil, fmt.Errorf("mem %dx%.0f: %w", sc.replicas, sc.memEach, err)
-		}
+	scenarios := []scenario{{1, 512}, {2, 256}, {4, 128}}
+	var specs []runner.RunSpec
+	for _, sc := range scenarios {
+		specs = append(specs, memMicroRunSpec(opts, sc.replicas, sc.memEach))
+	}
+	results, err := execute(specs, opts)
+	if err != nil {
+		return nil, err
+	}
+	for i, sc := range scenarios {
+		sum := results[i].Summary
 		res.Scenarios = append(res.Scenarios, fmt.Sprintf("%dx%.0fMB", sc.replicas, sc.memEach))
+		// Deep swap can time every request out; report mean 0 with the
+		// failure share rather than erroring (the cliff IS the result).
+		mean := time.Duration(0)
+		if sum.Completed > 0 {
+			mean = sum.MeanLatency
+		}
 		res.Mean = append(res.Mean, mean)
-		res.FailedPercent = append(res.FailedPercent, failed)
+		res.FailedPercent = append(res.FailedPercent, sum.FailedPercent())
 	}
 	return res, nil
 }
 
-func runMemMicro(opts Options, replicas int, memEach float64) (time.Duration, float64, error) {
+// memMicroRunSpec compiles one §III-B scenario: equal total memory split
+// across replicas pinned one per node.
+func memMicroRunSpec(opts Options, replicas int, memEach float64) runner.RunSpec {
 	cfg := platform.DefaultConfig(opts.Seed)
 	cfg.Nodes = replicas
 	cfg.MonitorPeriod = 0
 	cfg.BaseLatency = 0 // Section III measures microservice execution time directly
-	w, err := platform.New(cfg, nil)
-	if err != nil {
-		return 0, 0, err
-	}
-	spec := workload.ServiceSpec{
+	svc := workload.ServiceSpec{
 		Name: "mem-micro", Kind: workload.KindMemoryBound,
 		CPUPerRequest:         0.05,
 		CPUOverheadPerRequest: 0.01,
@@ -222,27 +229,23 @@ func runMemMicro(opts Options, replicas int, memEach float64) (time.Duration, fl
 		MinReplicas: 1, MaxReplicas: 8,
 		Timeout: 60 * time.Second,
 	}
-	if err := w.AddService(spec, 0, nil); err != nil {
-		return 0, 0, err
+	window := 60 * time.Second
+	spec := runner.RunSpec{
+		Name:       fmt.Sprintf("mem/%dx%.0fMB", replicas, memEach),
+		Seed:       opts.Seed,
+		Platform:   cfg,
+		Duration:   window + 2*time.Second,
+		DrainExtra: 15 * time.Minute,
+		Services:   []runner.ServiceRun{{Spec: svc}},
+		Inject:     []runner.InjectSpec{{At: 2 * time.Second, Window: window, Service: svc.Name, Count: microRequests}},
 	}
 	for i := 1; i < replicas; i++ {
-		nodeID := fmt.Sprintf("node-%d", i)
-		if err := w.DeployReplica(spec.Name, nodeID, resources.Vector{CPU: 2, MemMB: memEach}); err != nil {
-			return 0, 0, err
-		}
+		spec.Pinned = append(spec.Pinned, runner.PinnedReplica{
+			Service: svc.Name, Node: fmt.Sprintf("node-%d", i),
+			Alloc: resources.Vector{CPU: 2, MemMB: memEach},
+		})
 	}
-	window := 60 * time.Second
-	if err := w.InjectRequests(2*time.Second, window, spec.Name, microRequests); err != nil {
-		return 0, 0, err
-	}
-	if err := w.RunUntilDrained(window+2*time.Second, 15*time.Minute); err != nil {
-		return 0, 0, err
-	}
-	sum := w.Summary()
-	if sum.Completed == 0 {
-		return 0, sum.FailedPercent(), nil
-	}
-	return sum.MeanLatency, sum.FailedPercent(), nil
+	return spec
 }
 
 // Fig3Result holds the network scaling comparison (§III-C, Figure 3).
@@ -278,33 +281,37 @@ func RunFig3(opts Options) (*Fig3Result, error) {
 	opts = opts.scaled()
 	res := &Fig3Result{Replicas: []int{1, 2, 4, 8, 16}}
 
-	vert, err := runNetMicro(opts, 1, 100)
-	if err != nil {
-		return nil, fmt.Errorf("fig3 vertical: %w", err)
-	}
-	res.VerticalMean = vert
-
+	specs := []runner.RunSpec{netMicroRunSpec(opts, "fig3/vertical", 1, 100)}
 	for _, r := range res.Replicas {
-		m, err := runNetMicro(opts, r, 100/float64(r))
-		if err != nil {
-			return nil, fmt.Errorf("fig3 horizontal %d: %w", r, err)
+		specs = append(specs, netMicroRunSpec(opts, fmt.Sprintf("fig3/horizontal-%d", r), r, 100/float64(r)))
+	}
+	results, err := execute(specs, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range results {
+		if r.Summary.Completed == 0 {
+			return nil, fmt.Errorf("%s: no requests completed", r.Spec.Name)
 		}
-		res.HorizontalMean = append(res.HorizontalMean, m)
+	}
+	res.VerticalMean = results[0].Summary.MeanLatency
+	for i := range res.Replicas {
+		res.HorizontalMean = append(res.HorizontalMean, results[1+i].Summary.MeanLatency)
 	}
 	return res, nil
 }
 
-func runNetMicro(opts Options, replicas int, capEach float64) (time.Duration, error) {
+// netMicroRunSpec compiles one §III-C scenario: a 100 Mbps total egress
+// allocation split across replicas pinned one per node, a flooding stress
+// hog (CPU + 32 egress flows) on every machine, and the fixed 640-request
+// client.
+func netMicroRunSpec(opts Options, name string, replicas int, capEach float64) runner.RunSpec {
 	cfg := platform.DefaultConfig(opts.Seed)
 	cfg.Nodes = replicas
 	cfg.MonitorPeriod = 0
 	cfg.BaseLatency = 0          // Section III measures microservice execution time directly
 	cfg.DistributionOverhead = 0 // the paper's iperf test measures pure transfer
-	w, err := platform.New(cfg, nil)
-	if err != nil {
-		return 0, err
-	}
-	spec := workload.ServiceSpec{
+	svc := workload.ServiceSpec{
 		Name: "net-micro", Kind: workload.KindNetworkBound,
 		CPUPerRequest:         0.005,
 		CPUOverheadPerRequest: 0.005,
@@ -316,35 +323,27 @@ func runNetMicro(opts Options, replicas int, capEach float64) (time.Duration, er
 		MinReplicas:           1, MaxReplicas: 16,
 		Timeout: 10 * time.Minute,
 	}
-	if err := w.AddService(spec, 0, nil); err != nil {
-		return 0, err
+	window := 160 * time.Second
+	spec := runner.RunSpec{
+		Name:       name,
+		Seed:       opts.Seed,
+		Platform:   cfg,
+		Duration:   window + 2*time.Second,
+		DrainExtra: 20 * time.Minute,
+		Services:   []runner.ServiceRun{{Spec: svc}},
+		Inject:     []runner.InjectSpec{{At: 2 * time.Second, Window: window, Service: svc.Name, Count: microRequests}},
 	}
 	for i := 1; i < replicas; i++ {
-		nodeID := fmt.Sprintf("node-%d", i)
-		alloc := resources.Vector{CPU: 0.5, MemMB: 256, NetMbps: capEach}
-		if err := w.DeployReplica(spec.Name, nodeID, alloc); err != nil {
-			return 0, err
-		}
+		spec.Pinned = append(spec.Pinned, runner.PinnedReplica{
+			Service: svc.Name, Node: fmt.Sprintf("node-%d", i),
+			Alloc: resources.Vector{CPU: 0.5, MemMB: 256, NetMbps: capEach},
+		})
 	}
-	// One flooding stress hog per machine (CPU + 32 egress flows), like the
-	// paper's custom stress container.
 	for i := 0; i < replicas; i++ {
-		nodeID := fmt.Sprintf("node-%d", i)
-		if err := w.AddStressContainer(nodeID, resources.Vector{CPU: 2, MemMB: 64}, 2, 32); err != nil {
-			return 0, err
-		}
+		spec.Stress = append(spec.Stress, runner.StressSpec{
+			Node: fmt.Sprintf("node-%d", i), Alloc: resources.Vector{CPU: 2, MemMB: 64},
+			CPUDemand: 2, NetFlows: 32,
+		})
 	}
-
-	window := 160 * time.Second
-	if err := w.InjectRequests(2*time.Second, window, spec.Name, microRequests); err != nil {
-		return 0, err
-	}
-	if err := w.RunUntilDrained(window+2*time.Second, 20*time.Minute); err != nil {
-		return 0, err
-	}
-	sum := w.Summary()
-	if sum.Completed == 0 {
-		return 0, fmt.Errorf("no requests completed")
-	}
-	return sum.MeanLatency, nil
+	return spec
 }

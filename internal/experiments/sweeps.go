@@ -8,6 +8,7 @@ import (
 	"hyscale/internal/metrics"
 	"hyscale/internal/platform"
 	"hyscale/internal/resources"
+	"hyscale/internal/runner"
 	"hyscale/internal/workload"
 )
 
@@ -41,19 +42,38 @@ func (r *Fig3SweepResult) Table() *Table {
 }
 
 // RunFig3Sweep runs the Fig. 3 scenario grid over {50,100,200} Mbps total
-// bandwidth and {5,10,20} Mb payloads.
+// bandwidth and {5,10,20} Mb payloads — 27 independent runs compiled up
+// front and fanned through the executor.
 func RunFig3Sweep(opts Options) (*Fig3SweepResult, error) {
 	opts = opts.scaled()
 	res := &Fig3SweepResult{}
-	for _, totalMbps := range []float64{50, 100, 200} {
-		for _, payloadMb := range []float64{5, 10, 20} {
+	bandwidths := []float64{50, 100, 200}
+	payloads := []float64{5, 10, 20}
+	replicaGrid := []int{1, 8, 16}
+
+	var specs []runner.RunSpec
+	for _, totalMbps := range bandwidths {
+		for _, payloadMb := range payloads {
+			for _, replicas := range replicaGrid {
+				specs = append(specs, netSweepRunSpec(opts, replicas, totalMbps/float64(replicas), payloadMb, totalMbps))
+			}
+		}
+	}
+	results, err := execute(specs, opts)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, totalMbps := range bandwidths {
+		for _, payloadMb := range payloads {
 			means := make(map[int]time.Duration)
-			for _, replicas := range []int{1, 8, 16} {
-				m, err := runNetMicroParams(opts, replicas, totalMbps/float64(replicas), payloadMb, totalMbps)
-				if err != nil {
-					return nil, fmt.Errorf("fig3 sweep %v/%v x%d: %w", totalMbps, payloadMb, replicas, err)
+			for _, replicas := range replicaGrid {
+				sum := results[i].Summary
+				if sum.Completed == 0 {
+					return nil, fmt.Errorf("fig3 sweep %v/%v x%d: no requests completed", totalMbps, payloadMb, replicas)
 				}
-				means[replicas] = m
+				means[replicas] = sum.MeanLatency
+				i++
 			}
 			res.Configs = append(res.Configs, fmt.Sprintf("%.0fMbps/%.0fMb", totalMbps, payloadMb))
 			res.GainAt8 = append(res.GainAt8, float64(means[1])/float64(means[8]))
@@ -63,53 +83,46 @@ func RunFig3Sweep(opts Options) (*Fig3SweepResult, error) {
 	return res, nil
 }
 
-// runNetMicroParams is the §III-C scenario with configurable payload and
+// netSweepRunSpec compiles the §III-C scenario with configurable payload and
 // bandwidth; the injection window keeps offered load at ~80 % of the total
 // bandwidth like the base experiment.
-func runNetMicroParams(opts Options, replicas int, capEach, payloadMb, totalMbps float64) (time.Duration, error) {
+func netSweepRunSpec(opts Options, replicas int, capEach, payloadMb, totalMbps float64) runner.RunSpec {
 	cfg := platform.DefaultConfig(opts.Seed)
 	cfg.Nodes = replicas
 	cfg.MonitorPeriod = 0
 	cfg.BaseLatency = 0
 	cfg.DistributionOverhead = 0
-	w, err := platform.New(cfg, nil)
-	if err != nil {
-		return 0, err
-	}
-	spec := workload.ServiceSpec{
+	svc := workload.ServiceSpec{
 		Name: "net-sweep", Kind: workload.KindNetworkBound,
 		CPUPerRequest: 0.005, CPUOverheadPerRequest: 0.005,
 		MemPerRequest: 1, NetPerRequest: payloadMb, BaselineMemMB: 80,
 		InitialReplicaCPU: 0.5, InitialReplicaMemMB: 256, InitialReplicaNetMbps: capEach,
 		MinReplicas: 1, MaxReplicas: 16, Timeout: 10 * time.Minute,
 	}
-	if err := w.AddService(spec, 0, nil); err != nil {
-		return 0, err
-	}
-	for i := 1; i < replicas; i++ {
-		alloc := resources.Vector{CPU: 0.5, MemMB: 256, NetMbps: capEach}
-		if err := w.DeployReplica(spec.Name, fmt.Sprintf("node-%d", i), alloc); err != nil {
-			return 0, err
-		}
-	}
-	for i := 0; i < replicas; i++ {
-		if err := w.AddStressContainer(fmt.Sprintf("node-%d", i), resources.Vector{CPU: 2, MemMB: 64}, 2, 32); err != nil {
-			return 0, err
-		}
-	}
 	// Offered load ≈ 40 % of the total cap, matching the base Fig. 3 run.
 	window := time.Duration(float64(microRequests) * payloadMb / (totalMbps * 0.4) * float64(time.Second))
-	if err := w.InjectRequests(2*time.Second, window, spec.Name, microRequests); err != nil {
-		return 0, err
+	spec := runner.RunSpec{
+		Name:       fmt.Sprintf("fig3sweep/%.0fMbps-%.0fMb-x%d", totalMbps, payloadMb, replicas),
+		Seed:       opts.Seed,
+		Platform:   cfg,
+		Duration:   window + 2*time.Second,
+		DrainExtra: 30 * time.Minute,
+		Services:   []runner.ServiceRun{{Spec: svc}},
+		Inject:     []runner.InjectSpec{{At: 2 * time.Second, Window: window, Service: svc.Name, Count: microRequests}},
 	}
-	if err := w.RunUntilDrained(window+2*time.Second, 30*time.Minute); err != nil {
-		return 0, err
+	for i := 1; i < replicas; i++ {
+		spec.Pinned = append(spec.Pinned, runner.PinnedReplica{
+			Service: svc.Name, Node: fmt.Sprintf("node-%d", i),
+			Alloc: resources.Vector{CPU: 0.5, MemMB: 256, NetMbps: capEach},
+		})
 	}
-	sum := w.Summary()
-	if sum.Completed == 0 {
-		return 0, fmt.Errorf("no requests completed")
+	for i := 0; i < replicas; i++ {
+		spec.Stress = append(spec.Stress, runner.StressSpec{
+			Node: fmt.Sprintf("node-%d", i), Alloc: resources.Vector{CPU: 2, MemMB: 64},
+			CPUDemand: 2, NetFlows: 32,
+		})
 	}
-	return sum.MeanLatency, nil
+	return spec
 }
 
 // TargetUtilResult sweeps the utilization target — the one knob every
@@ -144,7 +157,8 @@ func (r *TargetUtilResult) Table() *Table {
 	return t
 }
 
-// RunTargetUtilSweep runs kubernetes and hybridmem at 30/50/70 % targets.
+// RunTargetUtilSweep runs kubernetes and hybridmem at 30/50/70 % targets —
+// six independent runs compiled up front and fanned through the executor.
 func RunTargetUtilSweep(opts Options) (*TargetUtilResult, error) {
 	opts = opts.scaled()
 	res := &TargetUtilResult{
@@ -153,22 +167,56 @@ func RunTargetUtilSweep(opts Options) (*TargetUtilResult, error) {
 		MachineHours: make(map[string][]float64),
 		order:        []string{"kubernetes", "hybridmem"},
 	}
+	var specs []runner.RunSpec
 	for _, algoName := range res.order {
 		for _, target := range res.Targets {
 			services := makeServices(workload.KindCPUBound, 15, LowBurst, opts.Seed)
 			for i := range services {
 				services[i].target = target
 			}
-			r, err := runMacroSpecs("sweep", "sweep", services, []runSpec{{algorithm: algoName}}, opts)
-			if err != nil {
-				return nil, err
-			}
-			o := r.Outcomes[0]
-			res.PerAlgo[algoName] = append(res.PerAlgo[algoName], o.Summary)
-			res.MachineHours[algoName] = append(res.MachineHours[algoName], o.Cost.MachineHours)
+			row := macroRow{algorithm: algoName, label: fmt.Sprintf("%s@%.0f%%", algoName, target*100)}
+			specs = append(specs, row.compile("targetutil", services, opts))
+		}
+	}
+	results, err := execute(specs, opts)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, algoName := range res.order {
+		for range res.Targets {
+			r := results[i]
+			i++
+			res.PerAlgo[algoName] = append(res.PerAlgo[algoName], r.Summary)
+			res.MachineHours[algoName] = append(res.MachineHours[algoName], r.Cost.MachineHours)
 		}
 	}
 	return res, nil
+}
+
+// HookHeteroBigNodes is the registered runner hook that converts a freshly
+// built world into the heterogeneous cluster of RunHeterogeneous.
+const HookHeteroBigNodes = "hetero-big-nodes"
+
+func init() {
+	runner.RegisterHook(HookHeteroBigNodes, func(w *platform.World, _ runner.RunSpec) (runner.Finalizer, error) {
+		// Replace the last 9 uniform nodes with big 8-core/16GiB machines.
+		for i := 10; i < 19; i++ {
+			id := fmt.Sprintf("node-%d", i)
+			if _, err := w.Cluster().RemoveNode(id); err != nil {
+				return nil, err
+			}
+			w.Monitor().DetachNode(id)
+			big := cluster.DefaultNodeConfig(fmt.Sprintf("big-%d", i))
+			big.Capacity = resources.Vector{CPU: 8, MemMB: 16384, NetMbps: 2000}
+			big.Net.CapacityMbps = 2000
+			if err := w.Cluster().AddNode(big); err != nil {
+				return nil, err
+			}
+			w.Monitor().AttachNode(w.Cluster().Node(big.ID))
+		}
+		return nil, nil
+	})
 }
 
 // RunHeterogeneous exercises the algorithms on a heterogeneous cluster —
@@ -177,33 +225,14 @@ func RunTargetUtilSweep(opts Options) (*TargetUtilResult, error) {
 func RunHeterogeneous(opts Options) (*MacroResult, error) {
 	opts = opts.scaled()
 	services := makeServices(workload.KindCPUBound, 15, HighBurst, opts.Seed)
-
-	hetero := func(w *platform.World) error {
-		// Replace the last 9 uniform nodes with big 8-core/16GiB machines.
-		for i := 10; i < 19; i++ {
-			id := fmt.Sprintf("node-%d", i)
-			if _, err := w.Cluster().RemoveNode(id); err != nil {
-				return err
-			}
-			w.Monitor().DetachNode(id)
-			big := cluster.DefaultNodeConfig(fmt.Sprintf("big-%d", i))
-			big.Capacity = resources.Vector{CPU: 8, MemMB: 16384, NetMbps: 2000}
-			big.Net.CapacityMbps = 2000
-			if err := w.Cluster().AddNode(big); err != nil {
-				return err
-			}
-			w.Monitor().AttachNode(w.Cluster().Node(big.ID))
-		}
-		return nil
-	}
 	return runMacroSpecs(
 		"Heterogeneous cluster: 10 small + 9 double-size nodes (CPU-bound, high-burst)",
 		"heterogeneous",
 		services,
-		[]runSpec{
-			{algorithm: "kubernetes", setup: hetero},
-			{algorithm: "hybrid", setup: hetero},
-			{algorithm: "hybridmem", setup: hetero},
+		[]macroRow{
+			{algorithm: "kubernetes", hooks: []string{HookHeteroBigNodes}},
+			{algorithm: "hybrid", hooks: []string{HookHeteroBigNodes}},
+			{algorithm: "hybridmem", hooks: []string{HookHeteroBigNodes}},
 		},
 		opts,
 	)

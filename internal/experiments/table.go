@@ -9,6 +9,9 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
+
+	"hyscale/internal/runner"
 )
 
 // Table is a rendered experiment artefact: the rows behind one paper figure
@@ -129,6 +132,10 @@ type Options struct {
 	// Scale multiplies experiment durations (1.0 = paper-sized). Bench
 	// defaults use 0.2.
 	Scale float64
+	// Parallel bounds how many runs execute concurrently (<=0 uses
+	// GOMAXPROCS). Results are identical for any value: every run is an
+	// isolated world with a seed fixed at compile time.
+	Parallel int
 }
 
 // DefaultOptions returns paper-sized settings.
@@ -139,4 +146,34 @@ func (o Options) scaled() Options {
 		o.Scale = 1
 	}
 	return o
+}
+
+var (
+	timingsMu sync.Mutex
+	timings   []runner.Timing
+)
+
+// execute fans the compiled specs through the runner with the experiment's
+// parallelism, accumulating per-run wall-clock timings for TakeTimings.
+func execute(specs []runner.RunSpec, opts Options) ([]runner.Result, error) {
+	results, ts, err := runner.Execute(opts.Parallel, opts.Seed, specs)
+	timingsMu.Lock()
+	timings = append(timings, ts...)
+	timingsMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// TakeTimings drains the per-run wall-clock timings accumulated since the
+// last call — cmd/hyscale-bench prints them in its report footer. Timings
+// are measurement metadata: they never appear in experiment tables, so
+// rendered reports stay byte-identical across parallelism settings.
+func TakeTimings() []runner.Timing {
+	timingsMu.Lock()
+	defer timingsMu.Unlock()
+	out := timings
+	timings = nil
+	return out
 }

@@ -25,6 +25,11 @@ type Recorder struct {
 	services map[string]*ServiceStats
 	order    []string
 	hist     *stats.Histogram
+
+	// allSorted caches the cross-service sorted latency slice for Summarize;
+	// it is valid while it holds exactly as many samples as have been
+	// recorded (latencies are append-only, so a length match means clean).
+	allSorted []time.Duration
 }
 
 // NewRecorder returns an empty recorder.
@@ -50,6 +55,23 @@ type ServiceStats struct {
 
 	latencies []time.Duration
 	totalLat  time.Duration
+
+	// sorted is a reused scratch copy of latencies kept in ascending order;
+	// like Recorder.allSorted it is clean exactly when the lengths match, so
+	// repeated percentile/summary calls between recordings cost nothing.
+	sorted []time.Duration
+}
+
+// sortedLatencies returns the service's latencies in ascending order,
+// re-sorting the scratch buffer only when new samples arrived since the last
+// call (the dirty check is the length comparison — latencies are
+// append-only).
+func (s *ServiceStats) sortedLatencies() []time.Duration {
+	if len(s.sorted) != len(s.latencies) {
+		s.sorted = append(s.sorted[:0], s.latencies...)
+		sort.Slice(s.sorted, func(i, j int) bool { return s.sorted[i] < s.sorted[j] })
+	}
+	return s.sorted
 }
 
 func (r *Recorder) service(name string) *ServiceStats {
@@ -141,18 +163,25 @@ func (s Summary) String() string {
 // Summarize aggregates all services into one Summary.
 func (r *Recorder) Summarize() Summary {
 	var sum Summary
-	var all []time.Duration
 	var total time.Duration
+	samples := 0
 	for _, s := range r.services {
 		sum.Completed += s.Completed
 		sum.RemovalFailures += s.RemovalFailures
 		sum.ConnectionFailures += s.ConnectionFailures
-		all = append(all, s.latencies...)
+		samples += len(s.latencies)
 		total += s.totalLat
 	}
 	sum.Requests = sum.Completed + sum.RemovalFailures + sum.ConnectionFailures
-	if len(all) > 0 {
-		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if samples > 0 {
+		if len(r.allSorted) != samples {
+			r.allSorted = r.allSorted[:0]
+			for _, s := range r.services {
+				r.allSorted = append(r.allSorted, s.latencies...)
+			}
+			sort.Slice(r.allSorted, func(i, j int) bool { return r.allSorted[i] < r.allSorted[j] })
+		}
+		all := r.allSorted
 		sum.MeanLatency = total / time.Duration(len(all))
 		sum.P50Latency = percentile(all, 0.50)
 		sum.P95Latency = percentile(all, 0.95)
@@ -175,8 +204,7 @@ func (r *Recorder) SummarizeService(name string) Summary {
 	sum.ConnectionFailures = s.ConnectionFailures
 	sum.Requests = sum.Completed + sum.RemovalFailures + sum.ConnectionFailures
 	if len(s.latencies) > 0 {
-		lat := append([]time.Duration(nil), s.latencies...)
-		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		lat := s.sortedLatencies()
 		sum.MeanLatency = s.totalLat / time.Duration(len(lat))
 		sum.P50Latency = percentile(lat, 0.50)
 		sum.P95Latency = percentile(lat, 0.95)

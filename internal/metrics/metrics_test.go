@@ -126,6 +126,50 @@ func TestUnknownFailureClassCountsAsConnection(t *testing.T) {
 	}
 }
 
+func TestSummaryCacheInvalidatesOnNewSamples(t *testing.T) {
+	r := NewRecorder()
+	r.RecordCompletion("a", 300*time.Millisecond)
+	r.RecordCompletion("a", 100*time.Millisecond)
+	if got := r.Summarize().P50Latency; got != 100*time.Millisecond {
+		t.Fatalf("p50 = %v, want 100ms", got)
+	}
+	// A summary between recordings must not freeze the sorted caches: new
+	// samples (including a new max, and for a second service) have to land.
+	r.RecordCompletion("a", 500*time.Millisecond)
+	r.RecordCompletion("b", 700*time.Millisecond)
+	s := r.Summarize()
+	if s.MaxLatency != 700*time.Millisecond {
+		t.Errorf("max = %v, want 700ms after cache refresh", s.MaxLatency)
+	}
+	if s.P50Latency != 300*time.Millisecond {
+		t.Errorf("p50 = %v, want 300ms", s.P50Latency)
+	}
+	sa := r.SummarizeService("a")
+	if sa.MaxLatency != 500*time.Millisecond || sa.P50Latency != 300*time.Millisecond {
+		t.Errorf("service summary stale: %+v", sa)
+	}
+	// Repeated summaries without new samples stay stable.
+	if again := r.SummarizeService("a"); again != sa {
+		t.Errorf("repeated summary differs: %+v vs %+v", again, sa)
+	}
+}
+
+// BenchmarkSummarize measures the repeated-summary path the monitor and HTTP
+// API hit: many samples, periodic Summarize calls with only a few recordings
+// in between. The sorted-scratch cache should make the steady-state calls
+// cheap.
+func BenchmarkSummarize(b *testing.B) {
+	r := NewRecorder()
+	for i := 0; i < 100000; i++ {
+		r.RecordCompletion("svc", time.Duration(i%997)*time.Millisecond)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Summarize()
+	}
+}
+
 func TestLatencyHistogramTracksCompletions(t *testing.T) {
 	r := NewRecorder()
 	for i := 1; i <= 1000; i++ {

@@ -410,6 +410,12 @@ func (w *World) inflight() int {
 // Summary returns the aggregate user-perceived performance report.
 func (w *World) Summary() metrics.Summary { return w.recorder.Summarize() }
 
+// ClampedEvents reports how many events the engine clamped to "now" because
+// a component scheduled them in the past — see sim.Engine.Clamped. Run
+// results surface this so stale-timestamp bugs cannot hide in dropped error
+// returns.
+func (w *World) ClampedEvents() uint64 { return w.engine.Clamped() }
+
 // FaultInjector exposes the fault-injection layer (nil when faults are
 // disabled) — experiments probe it for uptime accounting.
 func (w *World) FaultInjector() *faults.Injector { return w.faults }

@@ -1,0 +1,66 @@
+package runner
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hyscale/internal/core"
+)
+
+// PredictiveHorizon is the extrapolation window the "-predictive" wrapper
+// uses — one monitor period, matching the paper's 5 s decision loop.
+const PredictiveHorizon = 5 * time.Second
+
+// NewAlgorithm instantiates a scaling algorithm by report name. This is THE
+// name-to-algorithm mapping for the repository — experiments, scenarios and
+// the facade all resolve through it. Ablation variants are spelled
+// "<base>-noreclaim", "<base>-vertical-only" and "<base>-horizontal-only";
+// the "-predictive" suffix composes with any spelling. Empty and "none"
+// return a nil algorithm (no autoscaling).
+func NewAlgorithm(name string, cfg core.Config) (core.Algorithm, error) {
+	if name == "" || name == "none" {
+		return nil, nil
+	}
+	if inner, ok := strings.CutSuffix(name, "-predictive"); ok {
+		algo, err := NewAlgorithm(inner, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if algo == nil {
+			return nil, fmt.Errorf("runner: cannot wrap %q with prediction", name)
+		}
+		return core.NewPredictive(algo, PredictiveHorizon), nil
+	}
+	base, variant, _ := strings.Cut(name, "-")
+	opts := core.HyScaleOptions{}
+	switch variant {
+	case "":
+	case "noreclaim":
+		opts.DisableReclamation = true
+	case "vertical-only":
+		opts.DisableHorizontal = true
+	case "horizontal-only":
+		opts.DisableVertical = true
+	default:
+		return nil, fmt.Errorf("runner: unknown algorithm variant %q", name)
+	}
+	switch base {
+	case "kubernetes":
+		if variant != "" {
+			return nil, fmt.Errorf("runner: kubernetes has no variants, got %q", name)
+		}
+		return core.NewKubernetes(cfg), nil
+	case "network":
+		if variant != "" {
+			return nil, fmt.Errorf("runner: network has no variants, got %q", name)
+		}
+		return core.NewNetworkHPA(cfg), nil
+	case "hybrid":
+		return core.NewHyScaleVariant(cfg, false, opts)
+	case "hybridmem":
+		return core.NewHyScaleVariant(cfg, true, opts)
+	default:
+		return nil, fmt.Errorf("runner: unknown algorithm %q", name)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"hyscale/internal/faults"
 	"hyscale/internal/loadgen"
 	"hyscale/internal/platform"
+	"hyscale/internal/runner"
 	"hyscale/internal/workload"
 )
 
@@ -353,8 +354,9 @@ func (sc *Scenario) Validate() error {
 	return nil
 }
 
-// Build materialises the scenario into a runnable World.
-func (sc *Scenario) Build() (*platform.World, error) {
+// Compile lowers the scenario onto the repository's common execution layer:
+// one self-contained runner.RunSpec that Build, Run and the CLI all share.
+func (sc *Scenario) Compile() (runner.RunSpec, error) {
 	cfg := platform.DefaultConfig(sc.Seed)
 	if sc.Nodes > 0 {
 		cfg.Nodes = sc.Nodes
@@ -373,81 +375,74 @@ func (sc *Scenario) Build() (*platform.World, error) {
 		cfg.HardeningOff = !*sc.Faults.Hardening
 	}
 
-	var algo core.Algorithm
-	if sc.Algorithm != "" && sc.Algorithm != "none" {
-		var err error
-		algo, err = buildAlgorithm(sc.Algorithm)
-		if err != nil {
-			return nil, err
-		}
-	}
-	w, err := platform.New(cfg, algo)
-	if err != nil {
-		return nil, err
+	spec := runner.RunSpec{
+		Name:      "scenario",
+		Seed:      sc.Seed,
+		Platform:  cfg,
+		Algorithm: sc.Algorithm,
+		Duration:  time.Duration(sc.Duration),
 	}
 	for _, s := range sc.Services {
-		spec, err := s.Spec()
+		svc, err := s.Spec()
 		if err != nil {
-			return nil, err
+			return runner.RunSpec{}, err
 		}
 		pattern, err := s.Load.Pattern()
 		if err != nil {
-			return nil, err
+			return runner.RunSpec{}, fmt.Errorf("scenario: service %q: %w", s.Name, err)
 		}
 		target := s.TargetUtil
 		if target == 0 {
 			target = 0.5
 		}
-		if err := w.AddService(spec, target, pattern); err != nil {
-			return nil, err
-		}
+		spec.Services = append(spec.Services, runner.ServiceRun{
+			Spec: svc, Target: target, Load: runner.FromPattern(pattern),
+		})
 	}
 	for _, f := range sc.Failures {
-		if err := w.ScheduleNodeFailure(time.Duration(f.At), f.Node); err != nil {
-			return nil, fmt.Errorf("scenario: scheduling failure of %q: %w", f.Node, err)
-		}
+		spec.NodeFailures = append(spec.NodeFailures, runner.NodeFailure{
+			At: time.Duration(f.At), Node: f.Node,
+		})
+	}
+	return spec, nil
+}
+
+// Build materialises the scenario into a runnable World.
+func (sc *Scenario) Build() (*platform.World, error) {
+	spec, err := sc.Compile()
+	if err != nil {
+		return nil, err
+	}
+	w, _, err := runner.Build(spec)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
 	}
 	return w, nil
 }
 
-// buildAlgorithm mirrors the experiment harness' algorithm naming,
-// including ablation suffixes.
+// buildAlgorithm delegates to the runner's algorithm naming (ablation
+// suffixes and the -predictive wrapper included), erroring on names that do
+// not resolve to a concrete algorithm.
 func buildAlgorithm(name string) (core.Algorithm, error) {
-	cfg := core.DefaultConfig()
-	switch name {
-	case "kubernetes":
-		return core.NewKubernetes(cfg), nil
-	case "network":
-		return core.NewNetworkHPA(cfg), nil
-	case "hybrid":
-		return core.NewHyScaleCPU(cfg), nil
-	case "hybridmem":
-		return core.NewHyScaleCPUMem(cfg), nil
-	case "hybrid-noreclaim":
-		return core.NewHyScaleVariant(cfg, false, core.HyScaleOptions{DisableReclamation: true})
-	case "hybridmem-noreclaim":
-		return core.NewHyScaleVariant(cfg, true, core.HyScaleOptions{DisableReclamation: true})
-	case "hybrid-vertical-only":
-		return core.NewHyScaleVariant(cfg, false, core.HyScaleOptions{DisableHorizontal: true})
-	case "hybridmem-vertical-only":
-		return core.NewHyScaleVariant(cfg, true, core.HyScaleOptions{DisableHorizontal: true})
-	case "hybrid-horizontal-only":
-		return core.NewHyScaleVariant(cfg, false, core.HyScaleOptions{DisableVertical: true})
-	case "hybridmem-horizontal-only":
-		return core.NewHyScaleVariant(cfg, true, core.HyScaleOptions{DisableVertical: true})
-	default:
-		return nil, fmt.Errorf("scenario: unknown algorithm %q", name)
+	algo, err := runner.NewAlgorithm(name, core.DefaultConfig())
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
 	}
+	if algo == nil {
+		return nil, fmt.Errorf("scenario: algorithm %q resolves to no autoscaler", name)
+	}
+	return algo, nil
 }
 
 // Run builds and runs the scenario, returning the world for inspection.
 func (sc *Scenario) Run() (*platform.World, error) {
-	w, err := sc.Build()
+	spec, err := sc.Compile()
 	if err != nil {
 		return nil, err
 	}
-	if err := w.Run(time.Duration(sc.Duration)); err != nil {
-		return nil, err
+	res, err := runner.Run(spec)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
 	}
-	return w, nil
+	return res.World, nil
 }

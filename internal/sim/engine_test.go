@@ -174,6 +174,31 @@ func TestNegativeDelayClamps(t *testing.T) {
 	}
 }
 
+func TestClampedCounter(t *testing.T) {
+	e := New(1)
+	if e.Clamped() != 0 {
+		t.Fatalf("fresh engine Clamped = %d, want 0", e.Clamped())
+	}
+	e.ScheduleAfter(-time.Second, func(*Engine) {}) // negative delay counts
+	e.ScheduleAfter(time.Second, func(e *Engine) {
+		_ = e.Schedule(0, func(*Engine) {}) // past-scheduling counts even when the error is dropped
+	})
+	if err := e.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if e.Clamped() != 2 {
+		t.Errorf("Clamped = %d, want 2", e.Clamped())
+	}
+	// Well-behaved scheduling leaves the counter alone.
+	e.ScheduleAfter(time.Second, func(*Engine) {})
+	if err := e.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if e.Clamped() != 2 {
+		t.Errorf("Clamped grew on valid scheduling: %d", e.Clamped())
+	}
+}
+
 func TestDeterministicRNG(t *testing.T) {
 	a, b := New(99), New(99)
 	for i := 0; i < 100; i++ {
@@ -209,5 +234,24 @@ func TestRunWithEmptyQueueAdvancesClock(t *testing.T) {
 	}
 	if e.Now() != 42*time.Second {
 		t.Errorf("Now = %v, want 42s", e.Now())
+	}
+}
+
+// BenchmarkEngineScheduleRun measures the schedule→dispatch hot path the way
+// the platform drives it: a mix of periodic ticks and one-shot events, like
+// the physics tick plus request completions. The value heap should keep this
+// at zero allocations per event beyond the scheduled closures themselves.
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	const eventsPerRun = 10000
+	noop := func(*Engine) {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := New(1)
+		for j := 0; j < eventsPerRun; j++ {
+			e.ScheduleAfter(time.Duration(j%97)*time.Millisecond, noop)
+		}
+		if err := e.Run(time.Second); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
