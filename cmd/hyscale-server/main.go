@@ -32,6 +32,7 @@ func main() {
 		nodes    = flag.Int("nodes", 19, "worker nodes")
 		rps      = flag.Float64("rps", 12, "base request rate per service")
 		speed    = flag.Float64("speed", 1.0, "simulated seconds advanced per wall second")
+		observe  = flag.Bool("observe", false, "record the decision-trace journal and serve it at /v1/timeline")
 	)
 	flag.Parse()
 
@@ -39,6 +40,7 @@ func main() {
 		Seed:      time.Now().UnixNano() % (1 << 31),
 		Nodes:     *nodes,
 		Algorithm: hyscale.AlgorithmName(*algo),
+		Observe:   *observe,
 	})
 	if err != nil {
 		fatal(err)

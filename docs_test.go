@@ -1,0 +1,63 @@
+package hyscale
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docFiles are the repository documents whose links CI verifies.
+var docFiles = []string{"README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md", "CHANGES.md"}
+
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// TestMarkdownLinks checks every relative markdown link in the top-level
+// docs points at a file that exists (external URLs and in-page anchors are
+// skipped). This is the docs job's link check; it also runs with the normal
+// test suite so broken links fail before CI.
+func TestMarkdownLinks(t *testing.T) {
+	for _, doc := range docFiles {
+		body, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatalf("%s: %v", doc, err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(body), -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"),
+				strings.HasPrefix(target, "#"):
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			if _, err := os.Stat(filepath.FromSlash(target)); err != nil {
+				t.Errorf("%s: broken link %q: %v", doc, m[0], err)
+			}
+		}
+	}
+}
+
+// TestDocsMentionPackagesThatExist keeps DESIGN.md's inventory honest: every
+// `internal/...` path it names must be a real package directory.
+func TestDocsMentionPackagesThatExist(t *testing.T) {
+	pkgRef := regexp.MustCompile("`(internal/[a-z]+)`")
+	for _, doc := range []string{"README.md", "DESIGN.md"} {
+		body, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatalf("%s: %v", doc, err)
+		}
+		for _, m := range pkgRef.FindAllStringSubmatch(string(body), -1) {
+			if fi, err := os.Stat(m[1]); err != nil || !fi.IsDir() {
+				t.Errorf("%s references %s, which is not a package directory", doc, m[1])
+			}
+		}
+	}
+}

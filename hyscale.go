@@ -41,6 +41,7 @@ import (
 	"hyscale/internal/loadgen"
 	"hyscale/internal/metrics"
 	"hyscale/internal/monitor"
+	"hyscale/internal/obs"
 	"hyscale/internal/platform"
 	"hyscale/internal/runner"
 	"hyscale/internal/workload"
@@ -101,6 +102,11 @@ type SimConfig struct {
 	// (retry/backoff, stale-snapshot degradation, LB health checks) so the
 	// cost of faults can be measured unmitigated.
 	DisableHardening bool
+	// Observe enables the decision-trace journal (see Simulation.Journal):
+	// every scaling decision with its observed inputs and outcome, plus
+	// per-service time series sampled each monitor period. Off by default —
+	// disabled observation costs nothing.
+	Observe bool
 }
 
 // FaultConfig re-exports the fault-injection configuration for callers of
@@ -138,6 +144,7 @@ func (cfg SimConfig) platformConfig() platform.Config {
 	}
 	pc.Faults = cfg.Faults
 	pc.HardeningOff = cfg.DisableHardening
+	pc.Observe = cfg.Observe
 	return pc
 }
 
@@ -200,6 +207,32 @@ func (s *Simulation) ClampedEvents() uint64 { return s.world.ClampedEvents() }
 // placement, stress containers, custom events). Most callers should not
 // need it.
 func (s *Simulation) World() *platform.World { return s.world }
+
+// --- Observability ----------------------------------------------------------
+
+// RunJournal is the decision-trace journal recorded when SimConfig.Observe is
+// set: every scaling decision with its observed inputs and outcome, plus
+// per-service time series. All methods are nil-safe.
+type RunJournal = obs.Journal
+
+// ScalingDecision is one journaled scaler decision.
+type ScalingDecision = obs.Decision
+
+// ServiceSample is one per-service time-series point, sampled each monitor
+// period.
+type ServiceSample = obs.Sample
+
+// Journal returns the run's decision-trace journal, or nil when
+// SimConfig.Observe was off. The nil journal is safe to query.
+func (s *Simulation) Journal() *RunJournal { return s.world.Journal() }
+
+// Decisions returns every journaled scaling decision in simulated-time order
+// (empty unless SimConfig.Observe was set).
+func (s *Simulation) Decisions() []ScalingDecision { return s.world.Journal().Decisions() }
+
+// Samples returns every journaled per-service time-series point in
+// simulated-time order (empty unless SimConfig.Observe was set).
+func (s *Simulation) Samples() []ServiceSample { return s.world.Journal().Samples() }
 
 // --- RunSpec layer ----------------------------------------------------------
 

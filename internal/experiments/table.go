@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync"
 
+	"hyscale/internal/obs"
 	"hyscale/internal/runner"
 )
 
@@ -136,6 +137,10 @@ type Options struct {
 	// GOMAXPROCS). Results are identical for any value: every run is an
 	// isolated world with a seed fixed at compile time.
 	Parallel int
+	// Observe journals every run's scaling decisions and per-service time
+	// series (see internal/obs); TakeArtifacts drains the collected
+	// run reports. cmd/hyscale-bench -report sets this.
+	Observe bool
 }
 
 // DefaultOptions returns paper-sized settings.
@@ -151,14 +156,39 @@ func (o Options) scaled() Options {
 var (
 	timingsMu sync.Mutex
 	timings   []runner.Timing
+	artifacts []obs.RunReport
 )
 
 // execute fans the compiled specs through the runner with the experiment's
-// parallelism, accumulating per-run wall-clock timings for TakeTimings.
+// parallelism, accumulating per-run wall-clock timings for TakeTimings and —
+// when Options.Observe is set — per-run journals for TakeArtifacts.
 func execute(specs []runner.RunSpec, opts Options) ([]runner.Result, error) {
+	if opts.Observe {
+		for i := range specs {
+			specs[i].Observe = true
+		}
+	}
 	results, ts, err := runner.Execute(opts.Parallel, opts.Seed, specs)
 	timingsMu.Lock()
 	timings = append(timings, ts...)
+	if opts.Observe {
+		// Keep only the lightweight journal + summary, not the Result's
+		// *World — a paper-sized -all batch must not retain every world.
+		for _, r := range results {
+			if r.Journal == nil {
+				continue
+			}
+			artifacts = append(artifacts, obs.RunReport{
+				Name:      r.Spec.Name,
+				Label:     r.Spec.RowLabel(),
+				Algorithm: r.Spec.Algorithm,
+				Seed:      r.Spec.Seed,
+				Duration:  r.Spec.Duration,
+				Summary:   r.Summary,
+				Journal:   r.Journal,
+			})
+		}
+	}
 	timingsMu.Unlock()
 	if err != nil {
 		return nil, err
@@ -175,5 +205,17 @@ func TakeTimings() []runner.Timing {
 	defer timingsMu.Unlock()
 	out := timings
 	timings = nil
+	return out
+}
+
+// TakeArtifacts drains the run reports journaled since the last call (empty
+// unless experiments ran with Options.Observe). Reports come back in spec
+// order per experiment, so a -report directory's artifact set is
+// deterministic for any parallelism.
+func TakeArtifacts() []obs.RunReport {
+	timingsMu.Lock()
+	defer timingsMu.Unlock()
+	out := artifacts
+	artifacts = nil
 	return out
 }

@@ -19,6 +19,7 @@ import (
 
 	"hyscale/internal/container"
 	"hyscale/internal/core"
+	"hyscale/internal/obs"
 	"hyscale/internal/platform"
 	"hyscale/internal/resources"
 )
@@ -61,6 +62,7 @@ func New(w *platform.World, opts ...Option) *Server {
 	s.mux.HandleFunc("POST /v1/services/{name}/scale", s.handleScale)
 	s.mux.HandleFunc("GET /v1/nodes", s.handleNodes)
 	s.mux.HandleFunc("GET /v1/latency", s.handleLatency)
+	s.mux.HandleFunc("GET /v1/timeline", s.handleTimeline)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
@@ -347,6 +349,41 @@ func (s *Server) handleLatency(w http.ResponseWriter, _ *http.Request) {
 			UpperMs: float64(b.UpperBound) / float64(time.Millisecond),
 			Count:   b.Count,
 		})
+	}
+	s.mu.Unlock()
+	s.writeJSON(w, out)
+}
+
+// timelineDecision is the JSON form of one journaled decision, with the
+// simulated timestamp in seconds first (the same shape as the obs JSONL
+// artifact lines).
+type timelineDecision struct {
+	T float64 `json:"t"`
+	obs.Decision
+}
+
+// handleTimeline exports the decision-trace journal. Without observation
+// enabled (platform.Config.Observe / hyscale-server -observe) it reports
+// enabled=false and an empty timeline. ?service=NAME filters to one service.
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	service := r.URL.Query().Get("service")
+	s.mu.Lock()
+	j := s.world.Journal()
+	out := struct {
+		Enabled   bool                `json:"enabled"`
+		Decisions []timelineDecision  `json:"decisions"`
+		Outcomes  map[obs.Outcome]int `json:"outcomes"`
+	}{
+		Enabled:   j.Enabled(),
+		Decisions: []timelineDecision{},
+		Outcomes:  make(map[obs.Outcome]int),
+	}
+	for _, d := range j.Decisions() {
+		if service != "" && d.Service != service {
+			continue
+		}
+		out.Decisions = append(out.Decisions, timelineDecision{T: d.At.Seconds(), Decision: d})
+		out.Outcomes[d.Outcome]++
 	}
 	s.mu.Unlock()
 	s.writeJSON(w, out)

@@ -288,3 +288,95 @@ func TestLatencyHistogramEndpoint(t *testing.T) {
 		t.Errorf("bucket counts %d != total %d", sum, body.Count)
 	}
 }
+
+// observedWorld is testWorld with the decision-trace journal enabled and a
+// bursty load so the autoscaler actually acts.
+func observedWorld(t *testing.T) *platform.World {
+	t.Helper()
+	cfg := platform.DefaultConfig(1)
+	cfg.Nodes = 4
+	cfg.Observe = true
+	w, err := platform.New(cfg, core.NewKubernetes(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := workload.ServiceSpec{
+		Name: "api", Kind: workload.KindCPUBound,
+		CPUPerRequest: 0.08, MemPerRequest: 2, BaselineMemMB: 100,
+		InitialReplicaCPU: 1, InitialReplicaMemMB: 512,
+		MinReplicas: 1, MaxReplicas: 6, Timeout: 10 * time.Second,
+	}
+	if err := w.AddService(spec, 0.5, loadgen.Constant{RPS: 25}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+type timelineBody struct {
+	Enabled   bool `json:"enabled"`
+	Decisions []struct {
+		T       float64 `json:"t"`
+		Service string  `json:"service"`
+		Kind    string  `json:"kind"`
+		Outcome string  `json:"outcome"`
+	} `json:"decisions"`
+	Outcomes map[string]int `json:"outcomes"`
+}
+
+func TestTimeline(t *testing.T) {
+	srv := New(observedWorld(t))
+	rec := get(t, srv, "/v1/timeline")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var body timelineBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if !body.Enabled {
+		t.Fatal("timeline reports disabled on an observed world")
+	}
+	if len(body.Decisions) == 0 {
+		t.Fatal("no decisions journaled under sustained overload")
+	}
+	total := 0
+	for _, n := range body.Outcomes {
+		total += n
+	}
+	if total != len(body.Decisions) {
+		t.Errorf("outcome tally %d != %d decisions", total, len(body.Decisions))
+	}
+	for i, d := range body.Decisions {
+		if d.Service != "api" || d.Kind == "" || d.Outcome == "" {
+			t.Fatalf("decision %d malformed: %+v", i, d)
+		}
+	}
+
+	// The service filter must drop everything for an unknown name.
+	rec = get(t, srv, "/v1/timeline?service=nope")
+	var filtered timelineBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &filtered); err != nil {
+		t.Fatal(err)
+	}
+	if len(filtered.Decisions) != 0 || !filtered.Enabled {
+		t.Errorf("filter leak: %d decisions", len(filtered.Decisions))
+	}
+}
+
+func TestTimelineDisabled(t *testing.T) {
+	srv := New(testWorld(t))
+	rec := get(t, srv, "/v1/timeline")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var body timelineBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Enabled || len(body.Decisions) != 0 {
+		t.Errorf("unobserved world leaked a timeline: %+v", body)
+	}
+}

@@ -113,6 +113,18 @@ func (r *Recorder) Services() []*ServiceStats {
 	return out
 }
 
+// ServiceCounters returns one service's cumulative outcome counters and
+// total completed-request latency — the cheap O(1) accessors the
+// observability layer samples each monitor period (unknown services return
+// zeros).
+func (r *Recorder) ServiceCounters(name string) (completed, removalFailed, connFailed uint64, totalLatency time.Duration) {
+	s, ok := r.services[name]
+	if !ok {
+		return 0, 0, 0, 0
+	}
+	return s.Completed, s.RemovalFailures, s.ConnectionFailures, s.totalLat
+}
+
 // Summary is the cross-service aggregate the paper's figures report.
 type Summary struct {
 	Requests           uint64

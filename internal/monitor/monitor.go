@@ -15,6 +15,7 @@ package monitor
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"hyscale/internal/cluster"
@@ -22,6 +23,7 @@ import (
 	"hyscale/internal/core"
 	"hyscale/internal/faults"
 	"hyscale/internal/nodemanager"
+	"hyscale/internal/obs"
 	"hyscale/internal/resources"
 	"hyscale/internal/workload"
 )
@@ -126,8 +128,17 @@ type Monitor struct {
 	// Hardening configures retry/backoff and graceful degradation.
 	Hardening Hardening
 
+	// Obs, when non-nil, journals every action attempt with the observed
+	// service inputs that motivated it (the decision-trace observability
+	// layer). Nil — the default — keeps the hot path untouched.
+	Obs *obs.Journal
+
 	retries     []pendingAction
 	lastReports map[string]cachedReport
+	// lastObs caches each service's aggregate observed usage from the most
+	// recent snapshot, attached to journaled decisions. Only maintained when
+	// Obs is set.
+	lastObs map[string]obs.ServiceObserved
 
 	counts ActionCounts
 }
@@ -143,6 +154,7 @@ func New(cl *cluster.Cluster, algo core.Algorithm) *Monitor {
 		StartDelay:  time.Second,
 		Hardening:   DefaultHardening(),
 		lastReports: make(map[string]cachedReport),
+		lastObs:     make(map[string]obs.ServiceObserved),
 	}
 	for _, n := range cl.Nodes() {
 		nm := nodemanager.New(n)
@@ -387,9 +399,67 @@ func (m *Monitor) Snapshot(now time.Duration) core.Snapshot {
 			})
 		}
 		st.replicaIDs = live
+		if m.Obs != nil {
+			ob := obs.ServiceObserved{Replicas: len(ss.Replicas)}
+			for _, r := range ss.Replicas {
+				ob.CPU += r.Usage.CPU
+				ob.MemMB += r.Usage.MemMB
+				ob.NetMbps += r.Usage.NetMbps
+				ob.RequestedCPU += r.Requested.CPU
+			}
+			m.lastObs[st.spec.Name] = ob
+		}
 		snap.Services = append(snap.Services, ss)
 	}
 	return snap
+}
+
+// serviceOfContainer maps a container ID back to its service, falling back
+// to the "<service>-<idx>" naming convention when the container is already
+// gone from the cluster.
+func (m *Monitor) serviceOfContainer(id string) string {
+	if c, _ := m.cluster.FindContainer(id); c != nil {
+		return c.Service
+	}
+	if i := strings.LastIndex(id, "-"); i > 0 {
+		return id[:i]
+	}
+	return id
+}
+
+// observe journals one action attempt with its outcome and the observed
+// inputs from the snapshot that motivated it. createdID names the replica a
+// successful scale-out started. No-op unless Obs is set.
+func (m *Monitor) observe(a core.Action, now time.Duration, attempt int, outcome obs.Outcome, createdID string) {
+	if m.Obs == nil {
+		return
+	}
+	d := obs.Decision{At: now, Attempt: attempt, Outcome: outcome}
+	switch act := a.(type) {
+	case core.VerticalScale:
+		d.Kind = obs.KindVertical
+		d.Container = act.ContainerID
+		d.Alloc = act.NewAlloc
+		d.Service = m.serviceOfContainer(act.ContainerID)
+		if c, _ := m.cluster.FindContainer(act.ContainerID); c != nil {
+			d.Node = c.NodeID
+		}
+	case core.ScaleOut:
+		d.Kind = obs.KindScaleOut
+		d.Service = act.Service
+		d.Node = act.NodeID
+		d.Alloc = act.Alloc
+		d.Container = createdID
+	case core.ScaleIn:
+		d.Kind = obs.KindScaleIn
+		d.Container = act.ContainerID
+		d.Service = m.serviceOfContainer(act.ContainerID)
+		if c, _ := m.cluster.FindContainer(act.ContainerID); c != nil {
+			d.Node = c.NodeID
+		}
+	}
+	d.Observed = m.lastObs[d.Service]
+	m.Obs.Decision(d)
 }
 
 // Apply executes a plan action-by-action.
@@ -407,18 +477,23 @@ func (m *Monitor) execute(a core.Action, now time.Duration, attempts int) {
 	case core.VerticalScale:
 		c, _ := m.cluster.FindContainer(act.ContainerID)
 		if c == nil || c.State == container.StateRemoved {
+			m.observe(a, now, attempts, obs.OutcomeMoot, "")
 			return // target gone; the action is moot, not failed
 		}
 		nm := m.nmByID[c.NodeID]
 		if nm == nil {
+			m.observe(a, now, attempts, obs.OutcomeMoot, "")
 			return
 		}
 		if m.Faults.VerticalFails(now, act.ContainerID) {
-			m.requeue(a, now, attempts)
+			m.observe(a, now, attempts, m.requeue(a, now, attempts), "")
 			return
 		}
 		if err := nm.ApplyVertical(act.ContainerID, act.NewAlloc); err == nil {
 			m.counts.Vertical++
+			m.observe(a, now, attempts, obs.OutcomeApplied, "")
+		} else {
+			m.observe(a, now, attempts, obs.OutcomeRejected, "")
 		}
 	case core.ScaleOut:
 		st, ok := m.byName[act.Service]
@@ -428,12 +503,13 @@ func (m *Monitor) execute(a core.Action, now time.Duration, attempts int) {
 		// A retried scale-out may have been overtaken by the algorithm's
 		// own fresh decisions; never push past the replica ceiling.
 		if attempts > 0 && len(m.Replicas(act.Service)) >= st.spec.MaxReplicas {
+			m.observe(a, now, attempts, obs.OutcomeOvertaken, "")
 			return
 		}
 		key := fmt.Sprintf("%s/%d", act.Service, st.nextIdx)
 		fail, slowBy := m.Faults.StartFault(now, key)
 		if fail {
-			m.requeue(a, now, attempts)
+			m.observe(a, now, attempts, m.requeue(a, now, attempts), "")
 			return
 		}
 		err := m.startReplica(st, act.NodeID, act.Alloc, now, slowBy)
@@ -446,21 +522,28 @@ func (m *Monitor) execute(a core.Action, now time.Duration, attempts int) {
 		}
 		if err != nil {
 			m.counts.PlacementFailures++
-			m.requeue(a, now, attempts)
+			m.observe(a, now, attempts, m.requeue(a, now, attempts), "")
+		} else {
+			m.observe(a, now, attempts, obs.OutcomeApplied, st.replicaIDs[len(st.replicaIDs)-1])
 		}
 	case core.ScaleIn:
+		if _, node := m.cluster.FindContainer(act.ContainerID); node == nil {
+			m.observe(a, now, attempts, obs.OutcomeMoot, "")
+			return
+		}
+		m.observe(a, now, attempts, obs.OutcomeApplied, "")
 		m.removeReplica(act.ContainerID)
 	}
 }
 
 // requeue schedules another attempt of a failed action with capped
-// exponential backoff, or abandons it when the budget is spent (or
-// hardening is off).
-func (m *Monitor) requeue(a core.Action, now time.Duration, attempts int) {
+// exponential backoff, returning OutcomeRequeued — or abandons it and
+// returns OutcomeAbandoned when the budget is spent (or hardening is off).
+func (m *Monitor) requeue(a core.Action, now time.Duration, attempts int) obs.Outcome {
 	executed := attempts + 1
 	if !m.Hardening.Enabled || executed >= m.Hardening.MaxAttempts {
 		m.counts.AbandonedActions++
-		return
+		return obs.OutcomeAbandoned
 	}
 	backoff := m.Hardening.RetryBackoffBase
 	for i := 1; i < executed; i++ {
@@ -478,6 +561,7 @@ func (m *Monitor) requeue(a core.Action, now time.Duration, attempts int) {
 		attempts:  executed,
 		notBefore: now + backoff,
 	})
+	return obs.OutcomeRequeued
 }
 
 func (m *Monitor) startReplica(st *serviceState, nodeID string, alloc resources.Vector, now time.Duration, slowBy time.Duration) error {

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ReportFile is the rendered Markdown report's file name inside a report
+// directory; DecisionsDir and SeriesDir hold the per-run artifacts.
+const (
+	ReportFile   = "report.md"
+	DecisionsDir = "decisions"
+	SeriesDir    = "series"
+)
+
+// uniqueSlugs assigns each run a distinct artifact slug, suffixing
+// duplicates deterministically.
+func uniqueSlugs(runs []RunReport) []string {
+	out := make([]string, len(runs))
+	used := make(map[string]int)
+	for i, r := range runs {
+		s := Slug(r.Name)
+		if s == "" {
+			s = "run"
+		}
+		used[s]++
+		if n := used[s]; n > 1 {
+			s = fmt.Sprintf("%s-%d", s, n)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// WriteReportDir writes a complete report directory for the batch: one
+// decision JSONL and one series CSV per run, plus the rendered Markdown
+// report. Every artifact is parsed back after writing, so a returned nil
+// error guarantees the directory is well-formed. generatedBy is the command
+// line quoted in the report preamble.
+func WriteReportDir(dir, generatedBy string, runs []RunReport) error {
+	for _, sub := range []string{dir, filepath.Join(dir, DecisionsDir), filepath.Join(dir, SeriesDir)} {
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return err
+		}
+	}
+	slugs := uniqueSlugs(runs)
+	normalized := make([]RunReport, len(runs))
+	for i, r := range runs {
+		// Render and write under the unique slug so duplicate names cannot
+		// clobber each other's artifacts.
+		r.Name = slugName(r.Name, slugs[i], Slug(r.Name))
+		normalized[i] = r
+
+		jsonlPath := filepath.Join(dir, DecisionsDir, slugs[i]+".jsonl")
+		f, err := os.Create(jsonlPath)
+		if err != nil {
+			return err
+		}
+		if err := r.Journal.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+
+		csvPath := filepath.Join(dir, SeriesDir, slugs[i]+".csv")
+		f, err = os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		if err := r.Journal.WriteSeriesCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	report := RenderReport(generatedBy, normalized)
+	if err := os.WriteFile(filepath.Join(dir, ReportFile), []byte(report), 0o644); err != nil {
+		return err
+	}
+	return ValidateReportDir(dir)
+}
+
+// slugName keeps the run's display name unless its slug had to be
+// de-duplicated, in which case the unique slug is appended so report links
+// still resolve to the right artifact files.
+func slugName(name, unique, plain string) string {
+	if unique == plain {
+		return name
+	}
+	return fmt.Sprintf("%s (%s)", name, unique)
+}
+
+// ValidateReportDir parses every artifact in a report directory — each
+// decisions/*.jsonl line and each series/*.csv record — and checks the
+// Markdown report exists. It is the report smoke check CI runs.
+func ValidateReportDir(dir string) error {
+	if fi, err := os.Stat(filepath.Join(dir, ReportFile)); err != nil || fi.Size() == 0 {
+		return fmt.Errorf("obs: missing or empty %s in %s", ReportFile, dir)
+	}
+	jsonls, err := filepath.Glob(filepath.Join(dir, DecisionsDir, "*.jsonl"))
+	if err != nil {
+		return err
+	}
+	for _, p := range jsonls {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		_, err = ParseJSONL(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("obs: %s: %w", p, err)
+		}
+	}
+	csvs, err := filepath.Glob(filepath.Join(dir, SeriesDir, "*.csv"))
+	if err != nil {
+		return err
+	}
+	if len(jsonls) == 0 || len(csvs) == 0 {
+		return fmt.Errorf("obs: report dir %s has no run artifacts", dir)
+	}
+	for _, p := range csvs {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		recs, err := csv.NewReader(f).ReadAll()
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("obs: %s: %w", p, err)
+		}
+		if len(recs) == 0 || strings.Join(recs[0], ",") != seriesHeader {
+			return fmt.Errorf("obs: %s: unexpected series header", p)
+		}
+	}
+	return nil
+}

@@ -18,6 +18,7 @@ import (
 	"hyscale/internal/loadgen"
 	"hyscale/internal/metrics"
 	"hyscale/internal/monitor"
+	"hyscale/internal/obs"
 	"hyscale/internal/resources"
 	"hyscale/internal/sim"
 	"hyscale/internal/workload"
@@ -59,6 +60,11 @@ type Config struct {
 	// (Monitor retry/backoff, stale-snapshot degradation, LB health checks)
 	// so experiments can measure what the hardening buys.
 	HardeningOff bool
+	// Observe enables the decision-trace observability layer: the World owns
+	// an obs.Journal that records every Monitor decision and per-service
+	// time series sampled each monitor period. Off (the default) costs
+	// nothing on the hot path.
+	Observe bool
 }
 
 // DefaultConfig mirrors the paper's experimental setup: 24 nodes minus the
@@ -115,6 +121,7 @@ type World struct {
 	costs    *cost.Tracker
 	faults   *faults.Injector
 	connFail ConnFailureBreakdown
+	journal  *obs.Journal
 
 	// ReplicaSeries records per-service replica counts at each monitor
 	// poll, for the resource-efficiency analyses.
@@ -155,6 +162,10 @@ func New(cfg Config, algo core.Algorithm) (*World, error) {
 		w.monitor = monitor.New(cl, algo)
 	} else {
 		w.monitor = monitor.New(cl, noopAlgorithm{})
+	}
+	if cfg.Observe {
+		w.journal = obs.NewJournal()
+		w.monitor.Obs = w.journal
 	}
 	w.monitor.StartDelay = cfg.StartDelay
 	w.monitor.OnRemovalFailure = func(r *workload.Request) {
@@ -358,6 +369,25 @@ func (w *World) poll(e *sim.Engine) {
 	for name, ts := range w.ReplicaSeries {
 		ts.Append(now, float64(len(w.monitor.Replicas(name))))
 	}
+
+	if w.journal != nil {
+		// Per-service time-series samples, in service registration order so
+		// artifact bytes are deterministic.
+		for _, rt := range w.services {
+			name := rt.spec.Name
+			replicas := w.monitor.Replicas(name)
+			var cpuShares, cpuUsage, netMbps float64
+			for _, c := range replicas {
+				cpuShares += c.Alloc.CPU
+				u := c.LastUsage()
+				cpuUsage += u.CPU
+				netMbps += u.NetMbps
+			}
+			completed, removal, conn, totalLat := w.recorder.ServiceCounters(name)
+			w.journal.Sample(now, name, len(replicas), cpuShares, cpuUsage, netMbps,
+				completed, removal+conn, totalLat)
+		}
+	}
 }
 
 // Run simulates until the horizon (absolute simulated time). It may be
@@ -422,6 +452,11 @@ func (w *World) FaultInjector() *faults.Injector { return w.faults }
 
 // ConnFailures returns the routing-time connection-failure breakdown.
 func (w *World) ConnFailures() ConnFailureBreakdown { return w.connFail }
+
+// Journal returns the decision-trace journal, or nil when Config.Observe was
+// off. All Journal methods are nil-safe, so callers may use the result
+// unconditionally.
+func (w *World) Journal() *obs.Journal { return w.journal }
 
 // CostReport prices the run so far (machine-hours + SLA penalties).
 func (w *World) CostReport() cost.Report { return w.costs.Report() }

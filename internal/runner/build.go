@@ -8,6 +8,7 @@ import (
 	"hyscale/internal/cost"
 	"hyscale/internal/metrics"
 	"hyscale/internal/monitor"
+	"hyscale/internal/obs"
 	"hyscale/internal/platform"
 )
 
@@ -36,6 +37,11 @@ type Result struct {
 	// World is the simulated world after the run, for post-processing
 	// (per-service summaries, replica series). Never serialized.
 	World *platform.World `json:"-"`
+
+	// Journal is the decision-trace journal (nil unless the spec set
+	// Observe). Never serialized; export it with the obs package's JSONL/CSV
+	// writers.
+	Journal *obs.Journal `json:"-"`
 }
 
 // Build materialises a spec into a ready-to-run world plus the finalizers of
@@ -47,6 +53,9 @@ func Build(spec RunSpec) (*platform.World, []Finalizer, error) {
 	}
 	if spec.Seed != 0 {
 		cfg.Seed = spec.Seed
+	}
+	if spec.Observe {
+		cfg.Observe = true
 	}
 	algoCfg := core.DefaultConfig()
 	if spec.AlgoConfig != nil {
@@ -137,6 +146,7 @@ func Run(spec RunSpec) (Result, error) {
 		ConnFail:      w.ConnFailures(),
 		ClampedEvents: w.ClampedEvents(),
 		World:         w,
+		Journal:       w.Journal(),
 	}
 	for _, fin := range fins {
 		fin(&res)

@@ -214,6 +214,12 @@ type RunSpec struct {
 	// services are deployed and before the clock starts — the extension
 	// point for world mutations a declarative field cannot express.
 	Hooks []string `json:"hooks,omitempty"`
+
+	// Observe enables the decision-trace journal for this run (see
+	// internal/obs). Each run owns an isolated journal, so parallel executor
+	// batches stay deterministic. Equivalent to setting Platform.Observe but
+	// also applies when Platform is defaulted.
+	Observe bool `json:"observe,omitempty"`
 }
 
 // RowLabel returns the report label: Label, or Name when unset.
