@@ -19,6 +19,7 @@ import (
 
 	"hyscale"
 	"hyscale/internal/loadgen"
+	"hyscale/internal/monitor"
 	"hyscale/internal/scenario"
 	"hyscale/internal/workload"
 )
@@ -137,6 +138,11 @@ func runScenario(path string) {
 	}
 	fmt.Printf("\nTOTAL      %s\n", w.Summary())
 	fmt.Printf("cost: %s\n", w.CostReport())
+	if rec := w.Monitor().Recovery(); rec != (monitor.RecoveryCounts{}) || w.MonitorCrashes() > 0 {
+		fmt.Printf("self-heal: suspected=%d dead=%d recovered=%d lost=%d replaced=%d readopted=%d drained=%d ckpt-restores=%d cold-restarts=%d monitor-crash-periods=%d\n",
+			rec.Suspected, rec.DeclaredDead, rec.Recovered, rec.ReplicasLost, rec.Replaced,
+			rec.Readopted, rec.StaleDrained, rec.CheckpointRestores, rec.ColdRestarts, w.MonitorCrashes())
+	}
 }
 
 func fatal(err error) {

@@ -102,6 +102,10 @@ type SimConfig struct {
 	// (retry/backoff, stale-snapshot degradation, LB health checks) so the
 	// cost of faults can be measured unmitigated.
 	DisableHardening bool
+	// SelfHealing configures the Monitor's failure detector, desired-state
+	// reconciler and checkpoint/restore. The zero value disables all three;
+	// start from DefaultSelfHealing for the recommended thresholds.
+	SelfHealing SelfHealingConfig
 	// Observe enables the decision-trace journal (see Simulation.Journal):
 	// every scaling decision with its observed inputs and outcome, plus
 	// per-service time series sampled each monitor period. Off by default —
@@ -115,6 +119,22 @@ type FaultConfig = faults.Config
 
 // FaultWindow scopes fault injection to a target and a time interval.
 type FaultWindow = faults.Window
+
+// SelfHealingConfig configures the Monitor's failure detector, desired-state
+// reconciler and checkpoint/restore.
+type SelfHealingConfig = monitor.SelfHealing
+
+// RecoveryCounts tallies the self-healing layer's activity: detector
+// transitions, lost/replaced/re-adopted replicas and monitor restarts.
+type RecoveryCounts = monitor.RecoveryCounts
+
+// NodeCondition is one node's failure-detector state.
+type NodeCondition = monitor.NodeCondition
+
+// DefaultSelfHealing returns the recommended self-healing settings (suspect
+// after 2 missed polls, dead after 4, 10 s re-placement cooldown,
+// checkpointing every poll).
+func DefaultSelfHealing() SelfHealingConfig { return monitor.DefaultSelfHealing() }
 
 // Simulation is a fully wired autoscaler platform running on the simulated
 // cluster. It wraps the internal platform with a stable public surface.
@@ -144,6 +164,7 @@ func (cfg SimConfig) platformConfig() platform.Config {
 	}
 	pc.Faults = cfg.Faults
 	pc.HardeningOff = cfg.DisableHardening
+	pc.SelfHealing = cfg.SelfHealing
 	pc.Observe = cfg.Observe
 	return pc
 }
@@ -193,6 +214,14 @@ func (s *Simulation) Actions() monitor.ActionCounts { return s.world.Monitor().C
 // starting, no backend at all, injected backend outage).
 func (s *Simulation) ConnFailures() platform.ConnFailureBreakdown { return s.world.ConnFailures() }
 
+// Recovery returns the self-healing counters: detector transitions,
+// lost/replaced/re-adopted replicas and monitor restarts. All zero unless
+// SimConfig.SelfHealing enabled the layer.
+func (s *Simulation) Recovery() RecoveryCounts { return s.world.Monitor().Recovery() }
+
+// NodeConditions returns every attached node's failure-detector state.
+func (s *Simulation) NodeConditions() []NodeCondition { return s.world.Monitor().NodeConditions() }
+
 // Replicas returns the live replica count of a service.
 func (s *Simulation) Replicas(service string) int {
 	return len(s.world.Monitor().Replicas(service))
@@ -222,6 +251,10 @@ type ScalingDecision = obs.Decision
 // period.
 type ServiceSample = obs.Sample
 
+// RunEvent is one journaled self-healing event (detector transition,
+// reconcile step or monitor restart).
+type RunEvent = obs.Event
+
 // Journal returns the run's decision-trace journal, or nil when
 // SimConfig.Observe was off. The nil journal is safe to query.
 func (s *Simulation) Journal() *RunJournal { return s.world.Journal() }
@@ -233,6 +266,10 @@ func (s *Simulation) Decisions() []ScalingDecision { return s.world.Journal().De
 // Samples returns every journaled per-service time-series point in
 // simulated-time order (empty unless SimConfig.Observe was set).
 func (s *Simulation) Samples() []ServiceSample { return s.world.Journal().Samples() }
+
+// Events returns every journaled self-healing event in simulated-time order
+// (empty unless SimConfig.Observe and SimConfig.SelfHealing were set).
+func (s *Simulation) Events() []RunEvent { return s.world.Journal().Events() }
 
 // --- RunSpec layer ----------------------------------------------------------
 

@@ -1,0 +1,314 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"hyscale/internal/faults"
+	"hyscale/internal/loadgen"
+	"hyscale/internal/metrics"
+	"hyscale/internal/monitor"
+	"hyscale/internal/platform"
+	"hyscale/internal/runner"
+	"hyscale/internal/sim"
+	"hyscale/internal/workload"
+)
+
+// The recovery experiment measures the self-healing control plane end to
+// end: two worker machines die mid-run, and the table reports how long each
+// algorithm takes to restore the pre-crash replica count (time-to-reconverge
+// from the moment of the first node death) and the availability over the
+// run. Four variants per algorithm isolate each layer's contribution:
+//
+//	no-heal    — legacy behaviour: the dead nodes' replicas are never
+//	             re-placed; reconvergence relies on the autoscaler alone.
+//	heal       — failure detector + reconciler + checkpointing on.
+//	crash-ckpt — additionally the Monitor itself crashes for 30 s right
+//	             after declaring the nodes dead; it restores from its last
+//	             checkpoint, retry queue and reconcile plan intact.
+//	crash-cold — the same crash without checkpointing: the Monitor cold
+//	             restarts, rediscovers replicas from the cluster, and the
+//	             queued re-placements are simply gone.
+
+// recoveryFailAt places the node deaths at 35% of the horizon, leaving room
+// for the post-crash monitor outage and the reconvergence tail.
+func recoveryFailAt(opts Options) time.Duration {
+	return time.Duration(0.35 * float64(macroDuration(opts)))
+}
+
+// Monitor-crash window, relative to the first node death: it opens after
+// the detector has declared the nodes dead (≈20 s at default thresholds)
+// and the reconcile cooldown has started, and lasts 30 s — long enough that
+// checkpointed and cold restarts diverge maximally.
+const (
+	recoveryCrashOpen  = 22 * time.Second
+	recoveryCrashClose = 52 * time.Second
+)
+
+// recoveryServices builds a CPU-bound constant-load service set whose
+// pre-crash replica counts are stable, so "restored the pre-crash replica
+// count" is a well-defined reconvergence criterion.
+func recoveryServices(n int) []serviceLoad {
+	out := make([]serviceLoad, 0, n)
+	for i := 0; i < n; i++ {
+		spec := workload.ServiceSpec{
+			Name: fmt.Sprintf("svc-%02d", i), Kind: workload.KindCPUBound,
+			CPUPerRequest:         0.1,
+			CPUOverheadPerRequest: 0.01,
+			MemPerRequest:         2,
+			BaselineMemMB:         300,
+			InitialReplicaCPU:     1,
+			InitialReplicaMemMB:   512,
+			MinReplicas:           2,
+			MaxReplicas:           8,
+			Timeout:               30 * time.Second,
+		}
+		out = append(out, serviceLoad{spec: spec, target: 0.5, pattern: loadgen.Constant{RPS: 12}})
+	}
+	return out
+}
+
+// RecoveryOutcome is one (algorithm, variant) cell.
+type RecoveryOutcome struct {
+	Algorithm string
+	// Variant is one of no-heal|heal|crash-ckpt|crash-cold.
+	Variant string
+	// ReconvergeSeconds is the time from the first node death until every
+	// service is back at its pre-crash replica count (-1: never within the
+	// horizon).
+	ReconvergeSeconds float64
+	// AvailabilityPercent is the fraction of service-seconds with at least
+	// one routable replica.
+	AvailabilityPercent float64
+	Summary             metrics.Summary
+	Recovery            monitor.RecoveryCounts
+	// MonitorCrashes counts poll periods lost to the monitor-crash window.
+	MonitorCrashes uint64
+}
+
+// RecoveryResult is the material behind the self-healing comparison.
+type RecoveryResult struct {
+	Name     string
+	Outcomes []RecoveryOutcome
+}
+
+// Outcome returns the cell for (algorithm, variant), or nil.
+func (r *RecoveryResult) Outcome(algorithm, variant string) *RecoveryOutcome {
+	for i := range r.Outcomes {
+		o := &r.Outcomes[i]
+		if o.Algorithm == algorithm && o.Variant == variant {
+			return o
+		}
+	}
+	return nil
+}
+
+// Table renders the per-algorithm recovery comparison.
+func (r *RecoveryResult) Table() *Table {
+	t := &Table{
+		Title: r.Name,
+		Columns: []string{"algorithm", "variant", "reconverge", "avail %", "failed %",
+			"lost", "replaced", "drained", "ckpt restores", "cold restarts"},
+	}
+	for _, o := range r.Outcomes {
+		reconverge := "-"
+		if o.ReconvergeSeconds >= 0 {
+			reconverge = fmt.Sprintf("%.0fs", o.ReconvergeSeconds)
+		}
+		t.AddRow(
+			o.Algorithm,
+			o.Variant,
+			reconverge,
+			fmt.Sprintf("%.2f", o.AvailabilityPercent),
+			fmt.Sprintf("%.2f", o.Summary.FailedPercent()),
+			fmt.Sprintf("%d", o.Recovery.ReplicasLost),
+			fmt.Sprintf("%d", o.Recovery.Replaced),
+			fmt.Sprintf("%d", o.Recovery.StaleDrained),
+			fmt.Sprintf("%d", o.Recovery.CheckpointRestores),
+			fmt.Sprintf("%d", o.Recovery.ColdRestarts),
+		)
+	}
+	return t
+}
+
+// recoveryProbe measures time-to-reconverge and availability. Pre-crash
+// replica counts are tracked while the clock is before the first scheduled
+// node failure; reconvergence is the first sample after it where every
+// service is back at (or above) its pre-crash count.
+type recoveryProbe struct {
+	failAt       time.Duration
+	pre          map[string]int
+	reconvergeAt time.Duration
+	total, up    uint64
+}
+
+// attach samples once per simulated second. The probe derives the failure
+// instant from the spec's own churn schedule, so the hook needs no
+// out-of-band parameters.
+func (p *recoveryProbe) attach(w *platform.World, spec runner.RunSpec) error {
+	p.pre = make(map[string]int)
+	p.reconvergeAt = -1
+	p.failAt = -1
+	for _, f := range spec.NodeFailures {
+		if p.failAt < 0 || f.At < p.failAt {
+			p.failAt = f.At
+		}
+	}
+	return w.Engine().SchedulePeriodic(time.Second, time.Second, func(e *sim.Engine) {
+		now := e.Now()
+		for _, s := range spec.Services {
+			p.total++
+			for _, c := range w.Monitor().Replicas(s.Spec.Name) {
+				if c.Routable() {
+					p.up++
+					break
+				}
+			}
+		}
+		switch {
+		case p.failAt < 0 || now < p.failAt:
+			for _, s := range spec.Services {
+				p.pre[s.Spec.Name] = len(w.Monitor().Replicas(s.Spec.Name))
+			}
+		case p.reconvergeAt < 0:
+			restored := true
+			for _, s := range spec.Services {
+				if len(w.Monitor().Replicas(s.Spec.Name)) < p.pre[s.Spec.Name] {
+					restored = false
+					break
+				}
+			}
+			if restored {
+				p.reconvergeAt = now
+			}
+		}
+	})
+}
+
+// HookRecoveryProbe is the registered runner hook attaching the recovery
+// probe; its finalizer reports Extra["reconvergeSeconds"] (-1: never) and
+// Extra["availabilityPercent"].
+const HookRecoveryProbe = "recovery-probe"
+
+func init() {
+	runner.RegisterHook(HookRecoveryProbe, func(w *platform.World, spec runner.RunSpec) (runner.Finalizer, error) {
+		probe := &recoveryProbe{}
+		if err := probe.attach(w, spec); err != nil {
+			return nil, err
+		}
+		return func(res *runner.Result) {
+			if res.Extra == nil {
+				res.Extra = make(map[string]float64)
+			}
+			reconverge := -1.0
+			if probe.reconvergeAt >= 0 {
+				reconverge = (probe.reconvergeAt - probe.failAt).Seconds()
+			}
+			res.Extra["reconvergeSeconds"] = reconverge
+			avail := 100.0
+			if probe.total > 0 {
+				avail = 100 * float64(probe.up) / float64(probe.total)
+			}
+			res.Extra["availabilityPercent"] = avail
+		}, nil
+	})
+}
+
+// recoveryCell parameterises one recovery run.
+type recoveryCell struct {
+	algorithm string
+	variant   string
+	selfHeal  monitor.SelfHealing
+	crash     bool
+}
+
+// compile turns a cell into a RunSpec: the constant-load service set, two
+// node deaths shortly after failAt, the optional monitor-crash window, and
+// the recovery probe hook.
+func (c recoveryCell) compile(services []serviceLoad, opts Options) runner.RunSpec {
+	failAt := recoveryFailAt(opts)
+	cfg := platform.DefaultConfig(opts.Seed)
+	cfg.SelfHealing = c.selfHeal
+	if c.crash {
+		cfg.Faults = faults.Config{
+			Seed: opts.Seed + 2000,
+			Windows: []faults.Window{{
+				Kind: faults.KindMonitorCrash,
+				From: failAt + recoveryCrashOpen,
+				To:   failAt + recoveryCrashClose,
+			}},
+		}
+	}
+	spec := runner.RunSpec{
+		Name:      fmt.Sprintf("recovery/%s-%s", c.algorithm, c.variant),
+		Label:     fmt.Sprintf("%s %s", c.algorithm, c.variant),
+		Seed:      opts.Seed,
+		Platform:  cfg,
+		Algorithm: c.algorithm,
+		Duration:  macroDuration(opts),
+		NodeFailures: []runner.NodeFailure{
+			{At: failAt, Node: "node-0"},
+			{At: failAt + time.Second, Node: "node-1"},
+		},
+		Hooks: []string{HookRecoveryProbe},
+	}
+	for _, s := range services {
+		spec.Services = append(spec.Services, runner.ServiceRun{
+			Spec: s.spec, Target: s.target, Load: runner.FromPattern(s.pattern),
+		})
+	}
+	return spec
+}
+
+// recoveryVariants returns the four self-healing variants every algorithm
+// runs under.
+func recoveryVariants() []recoveryCell {
+	heal := monitor.DefaultSelfHealing()
+	cold := monitor.DefaultSelfHealing()
+	cold.Checkpoint = false
+	return []recoveryCell{
+		{variant: "no-heal"},
+		{variant: "heal", selfHeal: heal},
+		{variant: "crash-ckpt", selfHeal: heal, crash: true},
+		{variant: "crash-cold", selfHeal: cold, crash: true},
+	}
+}
+
+// RunRecovery kills two worker machines mid-run and tabulates, per HyScale
+// algorithm and self-healing variant, the time to restore the pre-crash
+// replica count, availability, and the recovery counters (hyscale-bench
+// -exp recovery).
+func RunRecovery(opts Options) (*RecoveryResult, error) {
+	opts = opts.scaled()
+	services := recoveryServices(8)
+	algorithms := []string{"kubernetes", "hybrid", "hybridmem"}
+	var cells []recoveryCell
+	for _, a := range algorithms {
+		for _, v := range recoveryVariants() {
+			v.algorithm = a
+			cells = append(cells, v)
+		}
+	}
+	specs := make([]runner.RunSpec, len(cells))
+	for i, cell := range cells {
+		specs[i] = cell.compile(services, opts)
+	}
+	results, err := execute(specs, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &RecoveryResult{Name: "Recovery: node death, reconciliation and monitor crash-restore"}
+	for i, cell := range cells {
+		r := results[i]
+		res.Outcomes = append(res.Outcomes, RecoveryOutcome{
+			Algorithm:           cell.algorithm,
+			Variant:             cell.variant,
+			ReconvergeSeconds:   r.Extra["reconvergeSeconds"],
+			AvailabilityPercent: r.Extra["availabilityPercent"],
+			Summary:             r.Summary,
+			Recovery:            r.Recovery,
+			MonitorCrashes:      r.MonitorCrashes,
+		})
+	}
+	return res, nil
+}

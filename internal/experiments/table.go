@@ -186,6 +186,7 @@ func execute(specs []runner.RunSpec, opts Options) ([]runner.Result, error) {
 				Duration:  r.Spec.Duration,
 				Summary:   r.Summary,
 				Journal:   r.Journal,
+				Counters:  runCounters(r),
 			})
 		}
 	}
@@ -194,6 +195,32 @@ func execute(specs []runner.RunSpec, opts Options) ([]runner.Result, error) {
 		return nil, err
 	}
 	return results, nil
+}
+
+// runCounters flattens one run's control-plane counters — hardening,
+// fault-injection fallout and self-healing recovery — into the ordered
+// name/value pairs the Markdown report renders. The order is fixed so report
+// bytes stay deterministic.
+func runCounters(r runner.Result) []obs.Counter {
+	a, rec := r.Actions, r.Recovery
+	return []obs.Counter{
+		{Name: "retries", Value: a.Retries},
+		{Name: "abandoned actions", Value: a.AbandonedActions},
+		{Name: "stale snapshots", Value: a.StaleSnapshots},
+		{Name: "placement failures", Value: a.PlacementFailures},
+		{Name: "pending retries (end of run)", Value: uint64(r.PendingRetries)},
+		{Name: "monitor crash periods", Value: r.MonitorCrashes},
+		{Name: "nodes suspected", Value: rec.Suspected},
+		{Name: "nodes declared dead", Value: rec.DeclaredDead},
+		{Name: "nodes recovered", Value: rec.Recovered},
+		{Name: "replicas lost", Value: rec.ReplicasLost},
+		{Name: "replicas replaced", Value: rec.Replaced},
+		{Name: "replicas re-adopted", Value: rec.Readopted},
+		{Name: "stale replicas drained", Value: rec.StaleDrained},
+		{Name: "reconciles cancelled", Value: rec.ReconcileCancelled},
+		{Name: "checkpoint restores", Value: rec.CheckpointRestores},
+		{Name: "cold restarts", Value: rec.ColdRestarts},
+	}
 }
 
 // TakeTimings drains the per-run wall-clock timings accumulated since the

@@ -31,6 +31,26 @@ const (
 	KindStats Kind = "stats"
 	// KindBackend marks LB backends unhealthy for an interval.
 	KindBackend Kind = "backend"
+	// KindMonitorCrash takes the Monitor process itself down for the
+	// window: no polls, no decisions, no retries. Only meaningful as a
+	// Window (there is no per-attempt probability for a process crash);
+	// Target must be empty.
+	KindMonitorCrash Kind = "monitor-crash"
+	// KindPartition cuts the monitor↔node link for the window's target
+	// node. The partition may be asymmetric: Window.Direction selects
+	// whether stats queries, control actions, or both are black-holed.
+	KindPartition Kind = "partition"
+)
+
+// Partition directions for KindPartition windows. An empty Direction cuts
+// both ways.
+const (
+	// DirectionStats blacks out only the node's answers to stats queries
+	// (the monitor goes blind but can still act on the node).
+	DirectionStats = "stats"
+	// DirectionActions blacks out only control actions towards the node
+	// (the monitor sees the node but docker update/run/rm never arrive).
+	DirectionActions = "actions"
 )
 
 // Window forces a fault during [From, To) for a target (or every target
@@ -42,6 +62,10 @@ type Window struct {
 	Target string
 	From   time.Duration
 	To     time.Duration
+	// Direction narrows a KindPartition window to one side of the
+	// monitor↔node link (DirectionStats or DirectionActions); empty cuts
+	// both. Must be empty for every other kind.
+	Direction string
 }
 
 // Contains reports whether the window forces kind on target at now.
@@ -136,12 +160,24 @@ func (c Config) Validate() error {
 	}
 	for i, w := range c.Windows {
 		switch w.Kind {
-		case KindVertical, KindStart, KindStats, KindBackend:
+		case KindVertical, KindStart, KindStats, KindBackend, KindMonitorCrash, KindPartition:
 		default:
 			return fmt.Errorf("faults: window %d has unknown kind %q", i, w.Kind)
 		}
 		if w.To <= w.From {
 			return fmt.Errorf("faults: window %d has non-positive span [%v, %v)", i, w.From, w.To)
+		}
+		if w.Kind == KindMonitorCrash && w.Target != "" {
+			return fmt.Errorf("faults: window %d: monitor-crash windows take no target (got %q)", i, w.Target)
+		}
+		if w.Kind == KindPartition {
+			switch w.Direction {
+			case "", DirectionStats, DirectionActions:
+			default:
+				return fmt.Errorf("faults: window %d has unknown partition direction %q", i, w.Direction)
+			}
+		} else if w.Direction != "" {
+			return fmt.Errorf("faults: window %d: direction %q only applies to partition windows", i, w.Direction)
 		}
 	}
 	return nil
@@ -207,6 +243,46 @@ func (i *Injector) windowed(kind Kind, target string, now time.Duration) bool {
 		}
 	}
 	return false
+}
+
+// partitioned reports whether a KindPartition window cuts the given side of
+// the monitor↔node link at now. A window with empty Direction cuts both.
+func (i *Injector) partitioned(direction, nodeID string, now time.Duration) bool {
+	if i == nil {
+		return false
+	}
+	for _, w := range i.cfg.Windows {
+		if w.Contains(KindPartition, nodeID, now) &&
+			(w.Direction == "" || w.Direction == direction) {
+			return true
+		}
+	}
+	return false
+}
+
+// MonitorCrashed reports whether the Monitor process is down at now — the
+// platform skips polls (and checkpointing) for the duration, then restarts
+// the monitor at the first poll after the window.
+func (i *Injector) MonitorCrashed(now time.Duration) bool {
+	if i == nil {
+		return false
+	}
+	return i.windowed(KindMonitorCrash, "", now)
+}
+
+// StatsBlackout reports whether a partition window is black-holing nodeID's
+// stats answers at now. Unlike StatsDropped's per-query probability, this is
+// a sustained outage, so the monitor's failure detector sees consecutive
+// misses.
+func (i *Injector) StatsBlackout(now time.Duration, nodeID string) bool {
+	return i.partitioned(DirectionStats, nodeID, now)
+}
+
+// ActionBlackout reports whether a partition window is black-holing control
+// actions towards nodeID at now (docker update/run/rm never arrive; the
+// monitor requeues them).
+func (i *Injector) ActionBlackout(now time.Duration, nodeID string) bool {
+	return i.partitioned(DirectionActions, nodeID, now)
 }
 
 // VerticalFails reports whether the `docker update` on containerID at now

@@ -1,0 +1,147 @@
+package faults
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMonitorCrashWindow(t *testing.T) {
+	i := New(Config{Windows: []Window{
+		{Kind: KindMonitorCrash, From: time.Minute, To: 2 * time.Minute},
+	}})
+	if i.MonitorCrashed(30 * time.Second) {
+		t.Error("crashed before the window")
+	}
+	if !i.MonitorCrashed(90 * time.Second) {
+		t.Error("not crashed inside the window")
+	}
+	if i.MonitorCrashed(2 * time.Minute) {
+		t.Error("crashed at To (window is half-open)")
+	}
+	// The crash must not leak into per-node fault queries.
+	if i.StatsDropped(90*time.Second, "node-0") || i.StatsBlackout(90*time.Second, "node-0") {
+		t.Error("monitor-crash window leaked onto node faults")
+	}
+}
+
+func TestPartitionDirections(t *testing.T) {
+	mk := func(dir string) *Injector {
+		return New(Config{Windows: []Window{{
+			Kind: KindPartition, Target: "node-1", Direction: dir,
+			From: 0, To: time.Minute,
+		}}})
+	}
+
+	both := mk("")
+	if !both.StatsBlackout(time.Second, "node-1") || !both.ActionBlackout(time.Second, "node-1") {
+		t.Error("undirected partition must cut both directions")
+	}
+	if both.StatsBlackout(time.Second, "node-2") {
+		t.Error("partition leaked onto another node")
+	}
+
+	stats := mk(DirectionStats)
+	if !stats.StatsBlackout(time.Second, "node-1") {
+		t.Error("stats partition does not black out stats")
+	}
+	if stats.ActionBlackout(time.Second, "node-1") {
+		t.Error("stats partition blacks out actions")
+	}
+
+	actions := mk(DirectionActions)
+	if actions.StatsBlackout(time.Second, "node-1") {
+		t.Error("actions partition blacks out stats")
+	}
+	if !actions.ActionBlackout(time.Second, "node-1") {
+		t.Error("actions partition does not black out actions")
+	}
+}
+
+func TestNilInjectorSelfHealQueriesAreInert(t *testing.T) {
+	var i *Injector
+	if i.MonitorCrashed(time.Second) || i.StatsBlackout(time.Second, "n") || i.ActionBlackout(time.Second, "n") {
+		t.Error("nil injector injected a self-heal fault")
+	}
+}
+
+func TestValidateSelfHealWindows(t *testing.T) {
+	cases := []struct {
+		name string
+		w    Window
+		ok   bool
+	}{
+		{"monitor-crash", Window{Kind: KindMonitorCrash, From: 0, To: time.Second}, true},
+		{"monitor-crash with target", Window{Kind: KindMonitorCrash, Target: "node-0", From: 0, To: time.Second}, false},
+		{"partition both", Window{Kind: KindPartition, Target: "node-0", From: 0, To: time.Second}, true},
+		{"partition stats", Window{Kind: KindPartition, Target: "node-0", Direction: DirectionStats, From: 0, To: time.Second}, true},
+		{"partition actions", Window{Kind: KindPartition, Target: "node-0", Direction: DirectionActions, From: 0, To: time.Second}, true},
+		{"partition bad direction", Window{Kind: KindPartition, Target: "node-0", Direction: "sideways", From: 0, To: time.Second}, false},
+		{"direction on stats kind", Window{Kind: KindStats, Target: "node-0", Direction: DirectionStats, From: 0, To: time.Second}, false},
+	}
+	for _, tc := range cases {
+		err := (Config{Windows: []Window{tc.w}}).Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: invalid window accepted", tc.name)
+		}
+	}
+}
+
+// TestScaledProperties property-checks Config.Scaled over arbitrary configs
+// and rates: Scaled(0) is always inert, every scaled probability stays in
+// [0,1] and validates, and durations/seed survive scaling.
+func TestScaledProperties(t *testing.T) {
+	gen := func(r *rand.Rand) Config {
+		// Configs carry valid probabilities; rates beyond [0,1] (including
+		// negative) are exercised on purpose — Scaled must clamp them.
+		p := r.Float64
+		c := Config{
+			Seed:             r.Int63(),
+			VerticalFailProb: p(), StartFailProb: p(), StartSlowProb: p(),
+			StatsDropProb: p(), BackendDownProb: p(),
+			StartSlowBy:    time.Duration(r.Intn(10)) * time.Second,
+			BackendDownFor: time.Duration(r.Intn(10)) * time.Second,
+		}
+		if r.Intn(2) == 0 {
+			c.Windows = []Window{{Kind: KindStats, From: 0, To: time.Second}}
+		}
+		return c
+	}
+
+	prop := func(seed int64, rate float64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := gen(r)
+		rate = (rate - 0.25) * 4 // include negative and >1 rates
+
+		s := c.Scaled(rate)
+		for _, p := range []float64{
+			s.VerticalFailProb, s.StartFailProb, s.StartSlowProb,
+			s.StatsDropProb, s.BackendDownProb,
+		} {
+			if p < 0 || p > 1 {
+				return false
+			}
+		}
+		if err := s.Validate(); err != nil {
+			return false
+		}
+		if s.Seed != c.Seed || s.StartSlowBy != c.StartSlowBy || s.BackendDownFor != c.BackendDownFor {
+			return false
+		}
+		if rate <= 0 && s.Enabled() {
+			return false
+		}
+		if rate > 0 && len(s.Windows) != len(c.Windows) {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(func(seed int64, rate float64) bool { return prop(seed, rate) }, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -132,6 +132,8 @@ func (s *Server) handleCost(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleActions(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	c := s.world.Monitor().Counts()
+	rec := s.world.Monitor().Recovery()
+	pending := s.world.Monitor().PendingRetries()
 	s.mu.Unlock()
 	s.writeJSON(w, map[string]any{
 		"vertical":          c.Vertical,
@@ -141,6 +143,19 @@ func (s *Server) handleActions(w http.ResponseWriter, _ *http.Request) {
 		"retries":           c.Retries,
 		"abandonedActions":  c.AbandonedActions,
 		"staleSnapshots":    c.StaleSnapshots,
+		"pendingRetries":    pending,
+		"recovery": map[string]any{
+			"suspected":          rec.Suspected,
+			"declaredDead":       rec.DeclaredDead,
+			"recovered":          rec.Recovered,
+			"replicasLost":       rec.ReplicasLost,
+			"replaced":           rec.Replaced,
+			"readopted":          rec.Readopted,
+			"staleDrained":       rec.StaleDrained,
+			"reconcileCancelled": rec.ReconcileCancelled,
+			"checkpointRestores": rec.CheckpointRestores,
+			"coldRestarts":       rec.ColdRestarts,
+		},
 	})
 }
 
@@ -362,8 +377,15 @@ type timelineDecision struct {
 	obs.Decision
 }
 
-// handleTimeline exports the decision-trace journal. Without observation
-// enabled (platform.Config.Observe / hyscale-server -observe) it reports
+// timelineEvent is the JSON form of one journaled self-healing event.
+type timelineEvent struct {
+	T float64 `json:"t"`
+	obs.Event
+}
+
+// handleTimeline exports the decision-trace journal (decisions plus
+// self-healing events). Without observation enabled
+// (platform.Config.Observe / hyscale-server -observe) it reports
 // enabled=false and an empty timeline. ?service=NAME filters to one service.
 func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 	service := r.URL.Query().Get("service")
@@ -373,10 +395,12 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 		Enabled   bool                `json:"enabled"`
 		Decisions []timelineDecision  `json:"decisions"`
 		Outcomes  map[obs.Outcome]int `json:"outcomes"`
+		Events    []timelineEvent     `json:"events"`
 	}{
 		Enabled:   j.Enabled(),
 		Decisions: []timelineDecision{},
 		Outcomes:  make(map[obs.Outcome]int),
+		Events:    []timelineEvent{},
 	}
 	for _, d := range j.Decisions() {
 		if service != "" && d.Service != service {
@@ -384,6 +408,12 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 		}
 		out.Decisions = append(out.Decisions, timelineDecision{T: d.At.Seconds(), Decision: d})
 		out.Outcomes[d.Outcome]++
+	}
+	for _, e := range j.Events() {
+		if service != "" && e.Service != service {
+			continue
+		}
+		out.Events = append(out.Events, timelineEvent{T: e.At.Seconds(), Event: e})
 	}
 	s.mu.Unlock()
 	s.writeJSON(w, out)
@@ -424,6 +454,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# TYPE hyscale_control_abandoned_total counter\nhyscale_control_abandoned_total %d\n", c.AbandonedActions)
 	fmt.Fprintf(w, "# TYPE hyscale_control_stale_snapshots_total counter\nhyscale_control_stale_snapshots_total %d\n", c.StaleSnapshots)
 	fmt.Fprintf(w, "# TYPE hyscale_control_placement_failures_total counter\nhyscale_control_placement_failures_total %d\n", c.PlacementFailures)
+	fmt.Fprintf(w, "# TYPE hyscale_control_pending_retries gauge\nhyscale_control_pending_retries %d\n", s.world.Monitor().PendingRetries())
+
+	rec := s.world.Monitor().Recovery()
+	fmt.Fprintf(w, "# TYPE hyscale_selfheal_nodes_suspected_total counter\nhyscale_selfheal_nodes_suspected_total %d\n", rec.Suspected)
+	fmt.Fprintf(w, "# TYPE hyscale_selfheal_nodes_dead_total counter\nhyscale_selfheal_nodes_dead_total %d\n", rec.DeclaredDead)
+	fmt.Fprintf(w, "# TYPE hyscale_selfheal_nodes_recovered_total counter\nhyscale_selfheal_nodes_recovered_total %d\n", rec.Recovered)
+	fmt.Fprintf(w, "# TYPE hyscale_selfheal_replicas_lost_total counter\nhyscale_selfheal_replicas_lost_total %d\n", rec.ReplicasLost)
+	fmt.Fprintf(w, "# TYPE hyscale_selfheal_replicas_replaced_total counter\nhyscale_selfheal_replicas_replaced_total %d\n", rec.Replaced)
+	fmt.Fprintf(w, "# TYPE hyscale_selfheal_replicas_readopted_total counter\nhyscale_selfheal_replicas_readopted_total %d\n", rec.Readopted)
+	fmt.Fprintf(w, "# TYPE hyscale_selfheal_replicas_drained_total counter\nhyscale_selfheal_replicas_drained_total %d\n", rec.StaleDrained)
+	fmt.Fprintf(w, "# TYPE hyscale_selfheal_reconciles_cancelled_total counter\nhyscale_selfheal_reconciles_cancelled_total %d\n", rec.ReconcileCancelled)
+	fmt.Fprintf(w, "# TYPE hyscale_selfheal_checkpoint_restores_total counter\nhyscale_selfheal_checkpoint_restores_total %d\n", rec.CheckpointRestores)
+	fmt.Fprintf(w, "# TYPE hyscale_selfheal_cold_restarts_total counter\nhyscale_selfheal_cold_restarts_total %d\n", rec.ColdRestarts)
+
+	fmt.Fprintf(w, "# TYPE hyscale_node_health gauge\n")
+	for _, nc := range s.world.Monitor().NodeConditions() {
+		fmt.Fprintf(w, "hyscale_node_health{node=%q,state=%q} %d\n", nc.Node, nc.Health.String(), int(nc.Health))
+	}
 
 	cf := s.world.ConnFailures()
 	fmt.Fprintf(w, "# TYPE hyscale_connection_failures_total counter\n")

@@ -1,0 +1,104 @@
+package lb
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hyscale/internal/container"
+	"hyscale/internal/faults"
+)
+
+// routeSeq routes n requests at now and returns the backend IDs in order.
+func routeSeq(t *testing.T, b *Balancer, now time.Duration, reps []*container.Container, n int) string {
+	t.Helper()
+	ids := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		c, err := b.RouteAt(now, req(uint64(now)*100+uint64(i)), reps)
+		if err != nil {
+			t.Fatalf("route %d at %v: %v", i, now, err)
+		}
+		ids = append(ids, c.ID)
+	}
+	return strings.Join(ids, " ")
+}
+
+// TestRoundRobinResurrectionOrderIsStable: a backend ejected by health
+// checks and later readmitted re-enters the round-robin rotation in its
+// original slice position, and the whole sequence is reproducible — the
+// regression guard for flap-induced rotation reshuffles.
+func TestRoundRobinResurrectionOrderIsStable(t *testing.T) {
+	run := func() string {
+		down := map[string]bool{"b": true}
+		b := New(RoundRobin)
+		b.HealthCheck = func(now time.Duration, c *container.Container) bool { return !down[c.ID] }
+		b.ProbeInterval = 2 * time.Second
+		reps := []*container.Container{replica("a"), replica("b"), replica("c")}
+
+		var log []string
+		log = append(log, routeSeq(t, b, 0, reps, 4)) // b ejected
+		down["b"] = false
+		log = append(log, routeSeq(t, b, time.Second, reps, 2))   // probe cached: still out
+		log = append(log, routeSeq(t, b, 3*time.Second, reps, 6)) // readmitted
+		return strings.Join(log, " | ")
+	}
+
+	got := run()
+	want := "a c a c | a c | a b c a b c"
+	if got != want {
+		t.Errorf("rotation = %q, want %q", got, want)
+	}
+	if again := run(); again != got {
+		t.Errorf("resurrection rotation not reproducible:\n first %q\nsecond %q", got, again)
+	}
+}
+
+// TestRotationAfterAllStarting: replicas that were all mid-start (the
+// ErrAllStarting verdict) enter rotation in slice order once ready, not in
+// readiness-completion order.
+func TestRotationAfterAllStarting(t *testing.T) {
+	b := New(RoundRobin)
+	reps := []*container.Container{
+		startingReplica("a", 5*time.Second),
+		startingReplica("b", 3*time.Second),
+		startingReplica("c", 4*time.Second),
+	}
+	if _, err := b.RouteAt(0, req(1), reps); err != ErrAllStarting {
+		t.Fatalf("err = %v, want ErrAllStarting", err)
+	}
+	for _, c := range reps {
+		c.MaybeStart(5 * time.Second)
+	}
+	if got := routeSeq(t, b, 6*time.Second, reps, 6); got != "a b c a b c" {
+		t.Errorf("post-start rotation = %q, want slice order", got)
+	}
+}
+
+// TestBackendDownResurrectionViaInjector: wiring the fault injector's
+// BackendDown verdict as the health check (how the platform composes them),
+// a backend forced down by a window is ejected and rejoins rotation
+// deterministically when the window closes.
+func TestBackendDownResurrectionViaInjector(t *testing.T) {
+	inj := faults.New(faults.Config{Windows: []faults.Window{
+		{Kind: faults.KindBackend, Target: "b", From: 0, To: 10 * time.Second},
+	}})
+	run := func() string {
+		b := New(RoundRobin)
+		b.HealthCheck = func(now time.Duration, c *container.Container) bool {
+			return !inj.BackendDown(now, c.ID)
+		}
+		b.ProbeInterval = 2 * time.Second
+		reps := []*container.Container{replica("a"), replica("b"), replica("c")}
+		during := routeSeq(t, b, 5*time.Second, reps, 4)
+		after := routeSeq(t, b, 12*time.Second, reps, 6)
+		return during + " | " + after
+	}
+	got := run()
+	want := "a c a c | a b c a b c"
+	if got != want {
+		t.Errorf("rotation = %q, want %q", got, want)
+	}
+	if again := run(); again != got {
+		t.Errorf("injector resurrection not reproducible:\n first %q\nsecond %q", got, again)
+	}
+}

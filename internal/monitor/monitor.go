@@ -90,12 +90,18 @@ type serviceState struct {
 	nextIdx    int
 }
 
-// pendingAction is one failed action awaiting its backoff deadline.
+// pendingAction is one queued action awaiting its deadline: a failed action
+// backing off, or a reconciler re-placement waiting out its cooldown.
 type pendingAction struct {
 	action core.Action
 	// attempts is the number of executions so far.
 	attempts  int
 	notBefore time.Duration
+	// reconcileNode tags a reconciler re-placement with the dead node it
+	// compensates for, so a prompt recovery cancels it (the anti-flap path).
+	reconcileNode string
+	// lostID names the lost replica this re-placement replaces.
+	lostID string
 }
 
 // cachedReport is a node manager's last successfully delivered report.
@@ -128,6 +134,10 @@ type Monitor struct {
 	// Hardening configures retry/backoff and graceful degradation.
 	Hardening Hardening
 
+	// SelfHeal configures the failure detector, desired-state reconciler and
+	// checkpoint/restore (see selfheal.go). Zero value: disabled.
+	SelfHeal SelfHealing
+
 	// Obs, when non-nil, journals every action attempt with the observed
 	// service inputs that motivated it (the decision-trace observability
 	// layer). Nil — the default — keeps the hot path untouched.
@@ -140,7 +150,18 @@ type Monitor struct {
 	// Obs is set.
 	lastObs map[string]obs.ServiceObserved
 
-	counts ActionCounts
+	// nodeStates is the failure detector's per-node record; replicaHome maps
+	// every live replica to its host node; lost is the reconciler's ledger of
+	// replicas excised from dead nodes (see selfheal.go).
+	nodeStates  map[string]*nodeState
+	replicaHome map[string]string
+	lost        []lostReplica
+
+	lastCheckpoint   *checkpoint
+	lastCheckpointAt time.Duration
+
+	counts   ActionCounts
+	recovery RecoveryCounts
 }
 
 // New wires a monitor to the cluster, creating one node manager per node,
@@ -155,6 +176,8 @@ func New(cl *cluster.Cluster, algo core.Algorithm) *Monitor {
 		Hardening:   DefaultHardening(),
 		lastReports: make(map[string]cachedReport),
 		lastObs:     make(map[string]obs.ServiceObserved),
+		nodeStates:  make(map[string]*nodeState),
+		replicaHome: make(map[string]string),
 	}
 	for _, n := range cl.Nodes() {
 		nm := nodemanager.New(n)
@@ -181,6 +204,7 @@ func (m *Monitor) DetachNode(nodeID string) {
 	}
 	delete(m.nmByID, nodeID)
 	delete(m.lastReports, nodeID)
+	delete(m.nodeStates, nodeID)
 	for i, nm := range m.nms {
 		if nm.NodeID() == nodeID {
 			m.nms = append(m.nms[:i], m.nms[i+1:]...)
@@ -270,6 +294,11 @@ func (m *Monitor) leastLoadedNode(alloc resources.Vector) string {
 	best := ""
 	bestCPU := -1.0
 	for _, n := range m.cluster.Nodes() {
+		if m.nodeDead(n.ID()) {
+			// Never place onto a node the failure detector has ruled dead,
+			// even if it still appears in the cluster (partitioned).
+			continue
+		}
 		a := n.Available()
 		if !alloc.FitsIn(a) {
 			continue
@@ -335,8 +364,12 @@ func (m *Monitor) drainRetries(now time.Duration) {
 	}
 	m.retries = kept
 	for _, p := range due {
-		m.counts.Retries++
-		m.execute(p.action, now, p.attempts)
+		// Reconciler re-placements enter the queue before any execution, so
+		// their first run is not a retry.
+		if p.attempts > 0 {
+			m.counts.Retries++
+		}
+		m.execute(p, now)
 	}
 }
 
@@ -351,9 +384,20 @@ func (m *Monitor) Snapshot(now time.Duration) core.Snapshot {
 	statsByID := make(map[string]nodemanager.ContainerStats)
 	for _, nm := range m.nms {
 		id := nm.NodeID()
-		var rep nodemanager.Report
-		if m.Faults.StatsDropped(now, id) {
+		if m.cluster.Node(id) == nil {
+			// The machine is gone from the cluster entirely: no cached
+			// report can stand in for a node that hosts nothing. The
+			// detector accrues the miss; once it rules the node dead the
+			// reconciler takes over (legacy runs detach such nodes
+			// out-of-band and never reach here).
 			nm.NoteMissedQuery()
+			m.noteMissedPoll(id, now)
+			continue
+		}
+		var rep nodemanager.Report
+		if m.Faults.StatsDropped(now, id) || m.Faults.StatsBlackout(now, id) {
+			nm.NoteMissedQuery()
+			m.noteMissedPoll(id, now)
 			cached, ok := m.lastReports[id]
 			if !m.Hardening.Enabled || !ok || now-cached.at > m.Hardening.StalenessBound {
 				// No usable data: the node vanishes from this snapshot.
@@ -364,6 +408,7 @@ func (m *Monitor) Snapshot(now time.Duration) core.Snapshot {
 		} else {
 			rep = nm.Report()
 			m.lastReports[id] = cachedReport{rep: rep, at: now}
+			m.notePollOK(id, now)
 		}
 		ns := core.NodeStats{ID: rep.NodeID, Capacity: rep.Capacity, Available: rep.Available}
 		seen := make(map[string]bool)
@@ -377,12 +422,37 @@ func (m *Monitor) Snapshot(now time.Duration) core.Snapshot {
 		snap.Nodes = append(snap.Nodes, ns)
 	}
 
+	// A node both ruled dead and gone from the cluster can never answer
+	// under this identity again; stop tracking it. Done outside the node
+	// loop so the slice is not mutated mid-iteration.
+	if m.SelfHeal.Enabled {
+		var detach []string
+		for _, nm := range m.nms {
+			if id := nm.NodeID(); m.nodeDead(id) && m.cluster.Node(id) == nil {
+				detach = append(detach, id)
+			}
+		}
+		for _, id := range detach {
+			m.DetachNode(id)
+		}
+	}
+
 	for _, st := range m.services {
 		ss := core.ServiceStats{Info: st.info}
 		live := st.replicaIDs[:0]
 		for _, id := range st.replicaIDs {
 			c, node := m.cluster.FindContainer(id)
 			if c == nil || c.State == container.StateRemoved {
+				// A replica that vanished with an unreachable-but-undecided
+				// node stays in the snapshot on last-known data, so the
+				// algorithm does not double-provision before the detector
+				// rules the node dead or recovered.
+				if home := m.limboHome(id); home != "" {
+					live = append(live, id)
+					ss.Replicas = append(ss.Replicas, m.lastKnownReplica(id, home, st))
+				} else {
+					delete(m.replicaHome, id)
+				}
 				continue
 			}
 			live = append(live, id)
@@ -465,73 +535,108 @@ func (m *Monitor) observe(a core.Action, now time.Duration, attempt int, outcome
 // Apply executes a plan action-by-action.
 func (m *Monitor) Apply(plan core.Plan, now time.Duration) {
 	for _, a := range plan.Actions {
-		m.execute(a, now, 0)
+		m.execute(pendingAction{action: a}, now)
 	}
 }
 
-// execute runs one attempt of an action; attempts counts prior executions.
-// Faulted or placement-failed attempts are requeued with backoff (when
-// hardening is enabled) or abandoned.
-func (m *Monitor) execute(a core.Action, now time.Duration, attempts int) {
+// execute runs one attempt of a queued action; p.attempts counts prior
+// executions. Faulted, black-holed or placement-failed attempts are requeued
+// with backoff (when hardening is enabled) or abandoned.
+func (m *Monitor) execute(p pendingAction, now time.Duration) {
+	a := p.action
 	switch act := a.(type) {
 	case core.VerticalScale:
 		c, _ := m.cluster.FindContainer(act.ContainerID)
 		if c == nil || c.State == container.StateRemoved {
-			m.observe(a, now, attempts, obs.OutcomeMoot, "")
+			m.observe(a, now, p.attempts, obs.OutcomeMoot, "")
 			return // target gone; the action is moot, not failed
 		}
 		nm := m.nmByID[c.NodeID]
 		if nm == nil {
-			m.observe(a, now, attempts, obs.OutcomeMoot, "")
+			m.observe(a, now, p.attempts, obs.OutcomeMoot, "")
 			return
 		}
-		if m.Faults.VerticalFails(now, act.ContainerID) {
-			m.observe(a, now, attempts, m.requeue(a, now, attempts), "")
+		if m.Faults.ActionBlackout(now, c.NodeID) || m.Faults.VerticalFails(now, act.ContainerID) {
+			m.observe(a, now, p.attempts, m.requeue(p, now), "")
 			return
 		}
 		if err := nm.ApplyVertical(act.ContainerID, act.NewAlloc); err == nil {
 			m.counts.Vertical++
-			m.observe(a, now, attempts, obs.OutcomeApplied, "")
+			m.observe(a, now, p.attempts, obs.OutcomeApplied, "")
 		} else {
-			m.observe(a, now, attempts, obs.OutcomeRejected, "")
+			m.observe(a, now, p.attempts, obs.OutcomeRejected, "")
 		}
 	case core.ScaleOut:
 		st, ok := m.byName[act.Service]
 		if !ok {
 			return
 		}
-		// A retried scale-out may have been overtaken by the algorithm's
-		// own fresh decisions; never push past the replica ceiling.
-		if attempts > 0 && len(m.Replicas(act.Service)) >= st.spec.MaxReplicas {
-			m.observe(a, now, attempts, obs.OutcomeOvertaken, "")
+		// A queued scale-out (retry or reconciler re-placement) may have
+		// been overtaken by the algorithm's own fresh decisions; never push
+		// past the replica ceiling.
+		if (p.attempts > 0 || p.lostID != "") && len(m.Replicas(act.Service)) >= st.spec.MaxReplicas {
+			if p.lostID != "" {
+				// The ceiling already covers the lost capacity; treat the
+				// original as superseded so a recovery drains it.
+				m.finishLost(p.lostID)
+			}
+			m.observe(a, now, p.attempts, obs.OutcomeOvertaken, "")
+			return
+		}
+		// Reconciler re-placements carry no node: resolve against live
+		// capacity at execution time, not at enqueue time.
+		if act.NodeID == "" {
+			act.NodeID = m.leastLoadedNode(act.Alloc)
+			a = act
+			if act.NodeID == "" {
+				m.counts.PlacementFailures++
+				m.observe(a, now, p.attempts, m.requeue(p, now), "")
+				return
+			}
+		}
+		if m.Faults.ActionBlackout(now, act.NodeID) {
+			m.observe(a, now, p.attempts, m.requeue(p, now), "")
 			return
 		}
 		key := fmt.Sprintf("%s/%d", act.Service, st.nextIdx)
 		fail, slowBy := m.Faults.StartFault(now, key)
 		if fail {
-			m.observe(a, now, attempts, m.requeue(a, now, attempts), "")
+			m.observe(a, now, p.attempts, m.requeue(p, now), "")
 			return
 		}
 		err := m.startReplica(st, act.NodeID, act.Alloc, now, slowBy)
-		if err != nil && attempts > 0 {
+		if err != nil && p.attempts > 0 {
 			// The originally chosen node filled up while the action waited;
 			// fall back to the best currently fitting node.
 			if alt := m.leastLoadedNode(act.Alloc); alt != "" && alt != act.NodeID {
+				act.NodeID = alt
+				a = act
 				err = m.startReplica(st, alt, act.Alloc, now, slowBy)
 			}
 		}
 		if err != nil {
 			m.counts.PlacementFailures++
-			m.observe(a, now, attempts, m.requeue(a, now, attempts), "")
+			m.observe(a, now, p.attempts, m.requeue(p, now), "")
 		} else {
-			m.observe(a, now, attempts, obs.OutcomeApplied, st.replicaIDs[len(st.replicaIDs)-1])
+			created := st.replicaIDs[len(st.replicaIDs)-1]
+			if p.lostID != "" {
+				m.finishLost(p.lostID)
+				m.recovery.Replaced++
+				m.event(now, obs.EventReplicaReplaced, act.NodeID, act.Service, created, "replaces "+p.lostID)
+			}
+			m.observe(a, now, p.attempts, obs.OutcomeApplied, created)
 		}
 	case core.ScaleIn:
-		if _, node := m.cluster.FindContainer(act.ContainerID); node == nil {
-			m.observe(a, now, attempts, obs.OutcomeMoot, "")
+		_, node := m.cluster.FindContainer(act.ContainerID)
+		if node == nil {
+			m.observe(a, now, p.attempts, obs.OutcomeMoot, "")
 			return
 		}
-		m.observe(a, now, attempts, obs.OutcomeApplied, "")
+		if m.Faults.ActionBlackout(now, node.ID()) {
+			m.observe(a, now, p.attempts, m.requeue(p, now), "")
+			return
+		}
+		m.observe(a, now, p.attempts, obs.OutcomeApplied, "")
 		m.removeReplica(act.ContainerID)
 	}
 }
@@ -539,8 +644,10 @@ func (m *Monitor) execute(a core.Action, now time.Duration, attempts int) {
 // requeue schedules another attempt of a failed action with capped
 // exponential backoff, returning OutcomeRequeued — or abandons it and
 // returns OutcomeAbandoned when the budget is spent (or hardening is off).
-func (m *Monitor) requeue(a core.Action, now time.Duration, attempts int) obs.Outcome {
-	executed := attempts + 1
+// Reconcile tags (reconcileNode, lostID) survive the requeue, so a recovery
+// can still cancel the re-placement mid-backoff.
+func (m *Monitor) requeue(p pendingAction, now time.Duration) obs.Outcome {
+	executed := p.attempts + 1
 	if !m.Hardening.Enabled || executed >= m.Hardening.MaxAttempts {
 		m.counts.AbandonedActions++
 		return obs.OutcomeAbandoned
@@ -556,11 +663,9 @@ func (m *Monitor) requeue(a core.Action, now time.Duration, attempts int) obs.Ou
 	if backoff > m.Hardening.RetryBackoffMax {
 		backoff = m.Hardening.RetryBackoffMax
 	}
-	m.retries = append(m.retries, pendingAction{
-		action:    a,
-		attempts:  executed,
-		notBefore: now + backoff,
-	})
+	p.attempts = executed
+	p.notBefore = now + backoff
+	m.retries = append(m.retries, p)
 	return obs.OutcomeRequeued
 }
 
@@ -593,6 +698,7 @@ func (m *Monitor) startReplicaWithReady(st *serviceState, nodeID string, alloc r
 		return err
 	}
 	st.replicaIDs = append(st.replicaIDs, id)
+	m.replicaHome[id] = nodeID
 	m.counts.ScaleOuts++
 	return nil
 }
@@ -603,6 +709,7 @@ func (m *Monitor) removeReplica(containerID string) {
 		return
 	}
 	killed := node.RemoveContainer(containerID)
+	delete(m.replicaHome, containerID)
 	m.counts.ScaleIns++
 	if m.OnRemovalFailure != nil {
 		for _, r := range killed {

@@ -54,6 +54,40 @@ const (
 	OutcomeMoot      Outcome = "moot"
 )
 
+// EventKind classifies a self-healing control-plane event (failure-detector
+// transitions, reconcile actions, checkpoint restores).
+type EventKind string
+
+// Self-healing event kinds, emitted by the Monitor's detector/reconciler.
+const (
+	EventNodeSuspect       EventKind = "node-suspect"
+	EventNodeDead          EventKind = "node-dead"
+	EventNodeRecovered     EventKind = "node-recovered"
+	EventReconcileEnqueue  EventKind = "reconcile-enqueue"
+	EventReconcileCancel   EventKind = "reconcile-cancel"
+	EventReplicaReplaced   EventKind = "replica-replaced"
+	EventReadopted         EventKind = "replica-readopted"
+	EventStaleDrained      EventKind = "stale-drained"
+	EventCheckpointRestore EventKind = "checkpoint-restore"
+	EventColdRestart       EventKind = "cold-restart"
+)
+
+// Event is one self-healing occurrence: a detector transition, a reconcile
+// step, or a monitor restart.
+type Event struct {
+	// At is the simulated time of the event.
+	At time.Duration `json:"-"`
+	// Kind classifies the event.
+	Kind EventKind `json:"kind"`
+	// Node is the machine concerned (empty for monitor restarts).
+	Node string `json:"node,omitempty"`
+	// Service and Container narrow replica-level events.
+	Service   string `json:"service,omitempty"`
+	Container string `json:"container,omitempty"`
+	// Detail is a short human-readable annotation.
+	Detail string `json:"detail,omitempty"`
+}
+
 // ServiceObserved is the aggregate usage the Monitor observed for one
 // service in the snapshot that motivated a decision — the algorithm's
 // actual inputs.
@@ -149,6 +183,7 @@ type svcCounters struct {
 type Journal struct {
 	decisions []Decision
 	samples   []Sample
+	events    []Event
 	prev      map[string]svcCounters
 }
 
@@ -166,6 +201,35 @@ func (j *Journal) Decision(d Decision) {
 		return
 	}
 	j.decisions = append(j.decisions, d)
+}
+
+// Event appends one self-healing event record. No-op on a nil journal.
+func (j *Journal) Event(e Event) {
+	if j == nil {
+		return
+	}
+	j.events = append(j.events, e)
+}
+
+// Events returns the journal's self-healing events in emission order (nil
+// journal: none).
+func (j *Journal) Events() []Event {
+	if j == nil {
+		return nil
+	}
+	return j.events
+}
+
+// EventCounts tallies self-healing events by kind.
+func (j *Journal) EventCounts() map[EventKind]int {
+	if j == nil {
+		return nil
+	}
+	out := make(map[EventKind]int)
+	for _, e := range j.events {
+		out[e.Kind]++
+	}
+	return out
 }
 
 // Sample appends one per-service series point from cumulative counters,
@@ -279,4 +343,15 @@ type RunReport struct {
 	Summary metrics.Summary
 	// Journal is the run's decision trace and series (may be nil).
 	Journal *Journal
+	// Counters are the run's control-plane counters (hardening, faults and
+	// self-healing recovery), in a fixed render order. Kept as plain pairs
+	// so obs stays import-free of the monitor package.
+	Counters []Counter
+}
+
+// Counter is one named cumulative control-plane counter attached to a run
+// report.
+type Counter struct {
+	Name  string
+	Value uint64
 }

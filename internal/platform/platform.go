@@ -60,6 +60,11 @@ type Config struct {
 	// (Monitor retry/backoff, stale-snapshot degradation, LB health checks)
 	// so experiments can measure what the hardening buys.
 	HardeningOff bool
+	// SelfHealing configures the Monitor's failure detector, desired-state
+	// reconciler and checkpoint/restore. The zero value disables all three,
+	// reproducing the legacy behaviour where node failures are reported
+	// out-of-band and lost replicas are never re-placed.
+	SelfHealing monitor.SelfHealing
 	// Observe enables the decision-trace observability layer: the World owns
 	// an obs.Journal that records every Monitor decision and per-service
 	// time series sampled each monitor period. Off (the default) costs
@@ -131,6 +136,12 @@ type World struct {
 
 	stressIdx int
 	started   bool
+	// monitorDown tracks whether the last poll fell inside a monitor-crash
+	// fault window, so the first poll after the window restarts the Monitor
+	// (checkpoint restore or cold, per SelfHealing.Checkpoint).
+	monitorDown bool
+	// monitorCrashes counts poll periods lost to monitor-crash windows.
+	monitorCrashes uint64
 }
 
 // New builds a world. algo may be nil for experiments with no autoscaler
@@ -168,6 +179,7 @@ func New(cfg Config, algo core.Algorithm) (*World, error) {
 		w.monitor.Obs = w.journal
 	}
 	w.monitor.StartDelay = cfg.StartDelay
+	w.monitor.SelfHeal = cfg.SelfHealing
 	w.monitor.OnRemovalFailure = func(r *workload.Request) {
 		w.recorder.RecordFailure(r.Service, workload.FailureRemoval)
 		w.costs.ObserveFailure()
@@ -352,9 +364,24 @@ func (w *World) tick(e *sim.Engine) {
 }
 
 // poll runs one Monitor decision period and records bookkeeping series.
+// Polls inside a monitor-crash fault window are skipped entirely — the
+// control plane is down while the data plane keeps serving — and the first
+// poll after the window restarts the Monitor from its last checkpoint (or
+// cold). The bookkeeping series keep sampling throughout so the outage is
+// visible in the run artifacts.
 func (w *World) poll(e *sim.Engine) {
 	now := e.Now()
-	w.monitor.Poll(now)
+	if w.faults.MonitorCrashed(now) {
+		w.monitorDown = true
+		w.monitorCrashes++
+	} else {
+		if w.monitorDown {
+			w.monitorDown = false
+			w.monitor.Restart(now)
+		}
+		w.monitor.Poll(now)
+		w.monitor.MaybeCheckpoint(now)
+	}
 
 	var usedCPU, capCPU float64
 	for _, n := range w.cluster.Nodes() {
@@ -458,6 +485,10 @@ func (w *World) ConnFailures() ConnFailureBreakdown { return w.connFail }
 // unconditionally.
 func (w *World) Journal() *obs.Journal { return w.journal }
 
+// MonitorCrashes returns how many poll periods were lost to monitor-crash
+// fault windows.
+func (w *World) MonitorCrashes() uint64 { return w.monitorCrashes }
+
 // CostReport prices the run so far (machine-hours + SLA penalties).
 func (w *World) CostReport() cost.Report { return w.costs.Report() }
 
@@ -471,7 +502,11 @@ func (w *World) ScheduleNodeFailure(at time.Duration, nodeID string) error {
 		if err != nil {
 			return // already gone
 		}
-		w.monitor.DetachNode(nodeID)
+		if !w.cfg.SelfHealing.Enabled {
+			// Legacy out-of-band notification. With self-healing on, the
+			// failure detector must discover the death through missed polls.
+			w.monitor.DetachNode(nodeID)
+		}
 		for _, r := range killed {
 			w.recorder.RecordFailure(r.Service, workload.FailureRemoval)
 			w.costs.ObserveFailure()

@@ -19,8 +19,15 @@ type Result struct {
 
 	Summary  metrics.Summary               `json:"summary"`
 	Actions  monitor.ActionCounts          `json:"actions"`
+	Recovery monitor.RecoveryCounts        `json:"recovery"`
 	Cost     cost.Report                   `json:"cost"`
 	ConnFail platform.ConnFailureBreakdown `json:"connFail"`
+
+	// MonitorCrashes counts poll periods lost to monitor-crash fault windows.
+	MonitorCrashes uint64 `json:"monitorCrashes,omitempty"`
+
+	// PendingRetries is the retry-queue depth at the end of the run.
+	PendingRetries int `json:"pendingRetries,omitempty"`
 
 	// ClampedEvents counts events the engine had to clamp to "now" because a
 	// component scheduled them in the past — the scheduling errors that used
@@ -139,14 +146,17 @@ func Run(spec RunSpec) (Result, error) {
 		return Result{}, fmt.Errorf("%s: %w", spec.Name, err)
 	}
 	res := Result{
-		Spec:          spec,
-		Summary:       w.Summary(),
-		Actions:       w.Monitor().Counts(),
-		Cost:          w.CostReport(),
-		ConnFail:      w.ConnFailures(),
-		ClampedEvents: w.ClampedEvents(),
-		World:         w,
-		Journal:       w.Journal(),
+		Spec:           spec,
+		Summary:        w.Summary(),
+		Actions:        w.Monitor().Counts(),
+		Recovery:       w.Monitor().Recovery(),
+		Cost:           w.CostReport(),
+		ConnFail:       w.ConnFailures(),
+		MonitorCrashes: w.MonitorCrashes(),
+		PendingRetries: w.Monitor().PendingRetries(),
+		ClampedEvents:  w.ClampedEvents(),
+		World:          w,
+		Journal:        w.Journal(),
 	}
 	for _, fin := range fins {
 		fin(&res)

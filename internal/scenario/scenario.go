@@ -29,6 +29,7 @@ import (
 	"hyscale/internal/core"
 	"hyscale/internal/faults"
 	"hyscale/internal/loadgen"
+	"hyscale/internal/monitor"
 	"hyscale/internal/platform"
 	"hyscale/internal/runner"
 	"hyscale/internal/workload"
@@ -224,13 +225,17 @@ type NodeFailure struct {
 
 // FaultWindow forces one fault kind during an interval — see faults.Window.
 type FaultWindow struct {
-	// Kind is one of vertical|start|stats|backend.
+	// Kind is one of vertical|start|stats|backend|monitor-crash|partition.
 	Kind string `json:"kind"`
 	// Target narrows the window to one container/service/node; empty hits
-	// every target.
+	// every target (monitor-crash windows take no target).
 	Target string   `json:"target,omitempty"`
 	From   Duration `json:"from"`
 	To     Duration `json:"to"`
+	// Direction narrows a partition window to one side of the monitor↔node
+	// link: "stats" (queries black-holed) or "actions" (control actions
+	// black-holed); empty cuts both.
+	Direction string `json:"direction,omitempty"`
 }
 
 // Faults declares control-plane fault injection for a scenario.
@@ -280,13 +285,47 @@ func (f *Faults) Config(scenarioSeed int64) faults.Config {
 	}
 	for _, w := range f.Windows {
 		cfg.Windows = append(cfg.Windows, faults.Window{
-			Kind:   faults.Kind(w.Kind),
-			Target: w.Target,
-			From:   time.Duration(w.From),
-			To:     time.Duration(w.To),
+			Kind:      faults.Kind(w.Kind),
+			Target:    w.Target,
+			From:      time.Duration(w.From),
+			To:        time.Duration(w.To),
+			Direction: w.Direction,
 		})
 	}
 	return cfg
+}
+
+// SelfHealing declares the Monitor's failure detector, reconciler and
+// checkpoint/restore for a scenario.
+type SelfHealing struct {
+	// Enabled turns on the heartbeat failure detector and reconciler.
+	Enabled bool `json:"enabled"`
+	// SuspectAfter / DeadAfter are the consecutive-missed-poll thresholds
+	// (defaults 2 and 4).
+	SuspectAfter int `json:"suspectAfter,omitempty"`
+	DeadAfter    int `json:"deadAfter,omitempty"`
+	// Cooldown delays each lost replica's re-placement (default 10s).
+	Cooldown Duration `json:"cooldown,omitempty"`
+	// Checkpoint enables monitor decision-state snapshots, restored after
+	// monitor-crash fault windows; CheckpointEvery spaces them (zero
+	// snapshots every poll).
+	Checkpoint      bool     `json:"checkpoint,omitempty"`
+	CheckpointEvery Duration `json:"checkpointEvery,omitempty"`
+}
+
+// Config materialises the self-healing declaration.
+func (s *SelfHealing) Config() monitor.SelfHealing {
+	if s == nil {
+		return monitor.SelfHealing{}
+	}
+	return monitor.SelfHealing{
+		Enabled:         s.Enabled,
+		SuspectAfter:    s.SuspectAfter,
+		DeadAfter:       s.DeadAfter,
+		Cooldown:        time.Duration(s.Cooldown),
+		Checkpoint:      s.Checkpoint,
+		CheckpointEvery: time.Duration(s.CheckpointEvery),
+	}
 }
 
 // Scenario is a complete experiment description.
@@ -307,6 +346,9 @@ type Scenario struct {
 	Failures []NodeFailure `json:"failures,omitempty"`
 	// Faults declares control-plane fault injection (nil injects nothing).
 	Faults *Faults `json:"faults,omitempty"`
+	// SelfHealing declares the Monitor's failure detector, reconciler and
+	// checkpoint/restore (nil disables all three).
+	SelfHealing *SelfHealing `json:"selfHealing,omitempty"`
 }
 
 // Parse reads a scenario from JSON, rejecting unknown fields so typos
@@ -374,6 +416,7 @@ func (sc *Scenario) Compile() (runner.RunSpec, error) {
 	if sc.Faults != nil && sc.Faults.Hardening != nil {
 		cfg.HardeningOff = !*sc.Faults.Hardening
 	}
+	cfg.SelfHealing = sc.SelfHealing.Config()
 
 	spec := runner.RunSpec{
 		Name:      "scenario",
