@@ -138,6 +138,17 @@ func runScenario(path string) {
 	}
 	fmt.Printf("\nTOTAL      %s\n", w.Summary())
 	fmt.Printf("cost: %s\n", w.CostReport())
+	if w.HasCallGraph() {
+		cs := w.CascadeStats()
+		rc := w.Resilience().Counters()
+		fmt.Printf("cascade: roots=%d completed=%d shed=%d deadline-exceeded=%d failed=%d retried=%d retries-denied=%d short-circuited=%d breaker-opens=%d amplification=%.2fx\n",
+			cs.RootGenerated, cs.RootCompleted, cs.RootShed, cs.RootDeadline, cs.RootFailed,
+			rc.Retries, rc.RetriesDenied, rc.ShortCircuited, rc.BreakerOpens, rc.Amplification())
+		for _, key := range cs.EdgeKeys() {
+			e := cs.Edges[key]
+			fmt.Printf("  edge %-20s issued=%d delivered=%d dropped=%d\n", key, e.Issued, e.Delivered, e.Dropped)
+		}
+	}
 	if rec := w.Monitor().Recovery(); rec != (monitor.RecoveryCounts{}) || w.MonitorCrashes() > 0 {
 		fmt.Printf("self-heal: suspected=%d dead=%d recovered=%d lost=%d replaced=%d readopted=%d drained=%d ckpt-restores=%d cold-restarts=%d monitor-crash-periods=%d\n",
 			rec.Suspected, rec.DeclaredDead, rec.Recovered, rec.ReplicasLost, rec.Replaced,

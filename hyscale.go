@@ -43,6 +43,7 @@ import (
 	"hyscale/internal/monitor"
 	"hyscale/internal/obs"
 	"hyscale/internal/platform"
+	"hyscale/internal/resilience"
 	"hyscale/internal/runner"
 	"hyscale/internal/workload"
 )
@@ -111,6 +112,16 @@ type SimConfig struct {
 	// per-service time series sampled each monitor period. Off by default —
 	// disabled observation costs nothing.
 	Observe bool
+	// CallGraph declares inter-service call edges: each completed request of
+	// an upstream service fans calls out to downstream services, with
+	// latency composition, bounded per-replica queues and fail-fast error
+	// propagation. Empty (the default) keeps every service independent and
+	// executes exactly the pre-call-graph code paths.
+	CallGraph CallGraph
+	// Resilience enables the cascading-failure defenses on call-graph runs:
+	// per-edge circuit breakers, budgeted retries, deadline propagation and
+	// adaptive load shedding. The zero value disables all of them.
+	Resilience ResilienceConfig
 }
 
 // FaultConfig re-exports the fault-injection configuration for callers of
@@ -166,6 +177,8 @@ func (cfg SimConfig) platformConfig() platform.Config {
 	pc.HardeningOff = cfg.DisableHardening
 	pc.SelfHealing = cfg.SelfHealing
 	pc.Observe = cfg.Observe
+	pc.CallGraph = cfg.CallGraph
+	pc.Resilience = cfg.Resilience
 	return pc
 }
 
@@ -236,6 +249,64 @@ func (s *Simulation) ClampedEvents() uint64 { return s.world.ClampedEvents() }
 // placement, stress containers, custom events). Most callers should not
 // need it.
 func (s *Simulation) World() *platform.World { return s.world }
+
+// --- Call graphs and resilience ---------------------------------------------
+
+// CallGraph declares the per-service call DAG: which downstream services each
+// request fans out to, with what probability or count.
+type CallGraph = workload.CallGraph
+
+// CallEdge is one dependency edge of a CallGraph.
+type CallEdge = workload.CallEdge
+
+// ResilienceConfig enables and tunes the cascading-failure defenses:
+// per-edge circuit breakers, budgeted retries, deadline propagation and
+// adaptive load shedding. The zero value disables all of them.
+type ResilienceConfig = resilience.Config
+
+// BreakerConfig parameterises the per-edge circuit breakers
+// (ResilienceConfig.Breakers).
+type BreakerConfig = resilience.BreakerConfig
+
+// RetryConfig parameterises budgeted client retries (ResilienceConfig.Retry).
+type RetryConfig = resilience.RetryConfig
+
+// DeadlineConfig enables deadline propagation down the call chain
+// (ResilienceConfig.Deadlines).
+type DeadlineConfig = resilience.DeadlineConfig
+
+// ShedConfig parameterises queue-occupancy load shedding
+// (ResilienceConfig.Shedding).
+type ShedConfig = resilience.ShedConfig
+
+// ResilienceCounters tallies the defense layer's activity: shed requests,
+// retries issued and denied, deadline misses, breaker short-circuits and
+// opens.
+type ResilienceCounters = resilience.Counters
+
+// BreakerState is one circuit breaker's position (closed, open, half-open).
+type BreakerState = resilience.BreakerState
+
+// CascadeStats aggregates a call-graph run's root-request outcomes and
+// per-edge traffic accounting.
+type CascadeStats = platform.CascadeStats
+
+// CascadeStats returns the call-graph accounting: root-request outcomes and
+// per-edge issued/delivered/dropped counts. Zero unless SimConfig.CallGraph
+// was set.
+func (s *Simulation) CascadeStats() CascadeStats { return s.world.CascadeStats() }
+
+// ResilienceCounters returns the defense layer's cumulative counters. Zero
+// unless SimConfig.Resilience enabled a defense.
+func (s *Simulation) ResilienceCounters() ResilienceCounters {
+	return s.world.Resilience().Counters()
+}
+
+// BreakerStates returns every call-graph edge's current breaker state (empty
+// unless breakers are enabled).
+func (s *Simulation) BreakerStates() map[string]BreakerState {
+	return s.world.Resilience().BreakerStates(s.world.Engine().Now())
+}
 
 // --- Observability ----------------------------------------------------------
 

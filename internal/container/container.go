@@ -134,6 +134,47 @@ func (c *Container) Enqueue(r *workload.Request) {
 // Inflight returns the number of requests currently being processed.
 func (c *Container) Inflight() int { return len(c.inflight) }
 
+// ActiveInflight returns the in-flight requests still doing CPU or network
+// work — excluding PhaseWait call-graph parents, which hold a queue slot
+// (back-pressure) but consume no resources while their downstream calls are
+// outstanding. Load shedding keys off this: a queue full of waiters is not a
+// saturated replica.
+func (c *Container) ActiveInflight() int {
+	n := 0
+	for _, r := range c.inflight {
+		if r.Phase != workload.PhaseWait {
+			n++
+		}
+	}
+	return n
+}
+
+// QueueFull reports whether the replica's bounded admission queue is at
+// capacity. Always false when the service declares no queue limit, which is
+// the paper's original unbounded model.
+func (c *Container) QueueFull() bool {
+	return c.Spec.QueueLimit > 0 && len(c.inflight) >= c.Spec.QueueLimit
+}
+
+// Release removes one request from the in-flight set without the usual
+// completion/timeout bookkeeping — the call-graph layer uses it to resolve
+// a PhaseWait parent the moment its last downstream call returns (success)
+// or a child fails permanently (fail-fast). success increments the
+// container's completed counter. Returns false when the request is not held
+// here.
+func (c *Container) Release(r *workload.Request, success bool) bool {
+	for i, held := range c.inflight {
+		if held == r {
+			c.inflight = append(c.inflight[:i], c.inflight[i+1:]...)
+			if success {
+				c.completed++
+			}
+			return true
+		}
+	}
+	return false
+}
+
 // InflightRequests exposes the in-flight slice for the physics loop. Callers
 // must not retain the slice across ticks.
 func (c *Container) InflightRequests() []*workload.Request { return c.inflight }
@@ -329,6 +370,15 @@ func (c *Container) Advance(now time.Duration, dt time.Duration, cpuRate, netRat
 				netConsumed += sent
 				r.RemainingNetMb -= sent
 			}
+		}
+
+		// A call-graph parent whose own work is done but whose downstream
+		// calls are still outstanding parks in PhaseWait: it keeps holding
+		// its queue slot and memory footprint (back-pressure) and only
+		// completes when the platform resolves its last child.
+		if r.Phase == workload.PhaseDone && r.PendingChildren > 0 {
+			r.Phase = workload.PhaseWait
+			r.OwnDoneAt = finishedAt
 		}
 
 		switch {

@@ -119,7 +119,7 @@ func (u *uptimeProbe) attach(w *platform.World, spec runner.RunSpec) error {
 		for _, s := range spec.Services {
 			u.total++
 			for _, c := range w.Monitor().Replicas(s.Spec.Name) {
-				if c.Routable() && !inj.BackendDown(now, c.ID) {
+				if c.Routable() && !inj.BackendDown(now, c.Service, c.ID) {
 					u.up++
 					break
 				}

@@ -203,7 +203,7 @@ func execute(specs []runner.RunSpec, opts Options) ([]runner.Result, error) {
 // bytes stay deterministic.
 func runCounters(r runner.Result) []obs.Counter {
 	a, rec := r.Actions, r.Recovery
-	return []obs.Counter{
+	out := []obs.Counter{
 		{Name: "retries", Value: a.Retries},
 		{Name: "abandoned actions", Value: a.AbandonedActions},
 		{Name: "stale snapshots", Value: a.StaleSnapshots},
@@ -221,6 +221,26 @@ func runCounters(r runner.Result) []obs.Counter {
 		{Name: "checkpoint restores", Value: rec.CheckpointRestores},
 		{Name: "cold restarts", Value: rec.ColdRestarts},
 	}
+	// Call-graph runs append the cascade-defense counters; runs without a
+	// graph keep the exact pre-resilience counter list, so existing report
+	// artifacts are byte-identical.
+	if r.Cascade != nil && r.Resilience != nil {
+		cs, rc := r.Cascade, r.Resilience
+		out = append(out,
+			obs.Counter{Name: "roots generated", Value: cs.RootGenerated},
+			obs.Counter{Name: "roots completed", Value: cs.RootCompleted},
+			obs.Counter{Name: "roots shed", Value: cs.RootShed},
+			obs.Counter{Name: "roots deadline-exceeded", Value: cs.RootDeadline},
+			obs.Counter{Name: "roots failed", Value: cs.RootFailed},
+			obs.Counter{Name: "requests shed", Value: rc.Shed},
+			obs.Counter{Name: "call retries issued", Value: rc.Retries},
+			obs.Counter{Name: "call retries denied (budget)", Value: rc.RetriesDenied},
+			obs.Counter{Name: "call deadline misses", Value: rc.DeadlineExceeded},
+			obs.Counter{Name: "breaker short-circuits", Value: rc.ShortCircuited},
+			obs.Counter{Name: "breaker opens", Value: rc.BreakerOpens},
+		)
+	}
+	return out
 }
 
 // TakeTimings drains the per-run wall-clock timings accumulated since the

@@ -40,6 +40,11 @@ const (
 	// node. The partition may be asymmetric: Window.Direction selects
 	// whether stats queries, control actions, or both are black-holed.
 	KindPartition Kind = "partition"
+	// KindSlowBackend multiplies the CPU work of requests admitted at the
+	// target service during the window by Window.Factor — a degraded
+	// dependency (lock convoy, cold cache, noisy neighbour) rather than a
+	// dead one. Only meaningful as a Window.
+	KindSlowBackend Kind = "slow-backend"
 )
 
 // Partition directions for KindPartition windows. An empty Direction cuts
@@ -66,6 +71,9 @@ type Window struct {
 	// monitor↔node link (DirectionStats or DirectionActions); empty cuts
 	// both. Must be empty for every other kind.
 	Direction string
+	// Factor is the CPU-work multiplier of a KindSlowBackend window
+	// (must be > 1); zero for every other kind.
+	Factor float64
 }
 
 // Contains reports whether the window forces kind on target at now.
@@ -160,7 +168,7 @@ func (c Config) Validate() error {
 	}
 	for i, w := range c.Windows {
 		switch w.Kind {
-		case KindVertical, KindStart, KindStats, KindBackend, KindMonitorCrash, KindPartition:
+		case KindVertical, KindStart, KindStats, KindBackend, KindMonitorCrash, KindPartition, KindSlowBackend:
 		default:
 			return fmt.Errorf("faults: window %d has unknown kind %q", i, w.Kind)
 		}
@@ -178,6 +186,13 @@ func (c Config) Validate() error {
 			}
 		} else if w.Direction != "" {
 			return fmt.Errorf("faults: window %d: direction %q only applies to partition windows", i, w.Direction)
+		}
+		if w.Kind == KindSlowBackend {
+			if w.Factor <= 1 {
+				return fmt.Errorf("faults: window %d: slow-backend windows need factor > 1 (got %v)", i, w.Factor)
+			}
+		} else if w.Factor != 0 {
+			return fmt.Errorf("faults: window %d: factor %v only applies to slow-backend windows", i, w.Factor)
 		}
 	}
 	return nil
@@ -335,15 +350,18 @@ func (i *Injector) StatsDropped(now time.Duration, nodeID string) bool {
 		i.roll(KindStats, nodeID, uint64(now)) < i.cfg.StatsDropProb
 }
 
-// BackendDown reports whether containerID is black-holing connections at
-// now. Outages are epoch-aligned: each BackendDownEvery the container is
-// re-drawn, and on a hit it is down for the first BackendDownFor of the
-// epoch — the same schedule regardless of who asks or how often.
-func (i *Injector) BackendDown(now time.Duration, containerID string) bool {
+// BackendDown reports whether containerID (a replica of service) is
+// black-holing connections at now. Windows may target either the container
+// ID or the whole service by name; the probabilistic epoch draw stays
+// per-container. Outages are epoch-aligned: each BackendDownEvery the
+// container is re-drawn, and on a hit it is down for the first
+// BackendDownFor of the epoch — the same schedule regardless of who asks or
+// how often.
+func (i *Injector) BackendDown(now time.Duration, service, containerID string) bool {
 	if i == nil {
 		return false
 	}
-	if i.windowed(KindBackend, containerID, now) {
+	if i.windowed(KindBackend, containerID, now) || (service != containerID && i.windowed(KindBackend, service, now)) {
 		return true
 	}
 	if i.cfg.BackendDownProb <= 0 {
@@ -365,4 +383,19 @@ func (i *Injector) BackendDown(now time.Duration, containerID string) bool {
 		return false
 	}
 	return now-time.Duration(epoch)*every < downFor
+}
+
+// SlowFactor returns the CPU-work multiplier a slow-backend window imposes
+// on service at now (the largest when several overlap), or 1 when none does.
+func (i *Injector) SlowFactor(now time.Duration, service string) float64 {
+	if i == nil {
+		return 1
+	}
+	factor := 1.0
+	for _, w := range i.cfg.Windows {
+		if w.Contains(KindSlowBackend, service, now) && w.Factor > factor {
+			factor = w.Factor
+		}
+	}
+	return factor
 }

@@ -19,7 +19,7 @@ func TestNilInjectorIsInert(t *testing.T) {
 	if i.StatsDropped(time.Second, "node-0") {
 		t.Error("nil injector dropped stats")
 	}
-	if i.BackendDown(time.Second, "c") {
+	if i.BackendDown(time.Second, "svc", "c") {
 		t.Error("nil injector downed a backend")
 	}
 }
@@ -55,7 +55,7 @@ func TestDecisionsAreDeterministic(t *testing.T) {
 		if a.StatsDropped(now, "node-2") != b.StatsDropped(now, "node-2") {
 			t.Fatal("stats decisions diverged")
 		}
-		if a.BackendDown(now, "c1") != b.BackendDown(now, "c1") {
+		if a.BackendDown(now, "svc", "c1") != b.BackendDown(now, "svc", "c1") {
 			t.Fatal("backend decisions diverged")
 		}
 	}
@@ -127,7 +127,7 @@ func TestBackendDownIsEpochAligned(t *testing.T) {
 		{59 * time.Second, false}, {time.Minute, true}, {70 * time.Second, false},
 	}
 	for _, c := range cases {
-		if got := i.BackendDown(c.at, "c"); got != c.down {
+		if got := i.BackendDown(c.at, "svc", "c"); got != c.down {
 			t.Errorf("BackendDown(%v) = %v, want %v", c.at, got, c.down)
 		}
 	}
@@ -136,10 +136,10 @@ func TestBackendDownIsEpochAligned(t *testing.T) {
 func TestBackendDownDefaultsDurations(t *testing.T) {
 	i := New(Config{Seed: 2, BackendDownProb: 1})
 	// Defaults: 10s down at the head of each 1m epoch.
-	if !i.BackendDown(5*time.Second, "c") {
+	if !i.BackendDown(5*time.Second, "svc", "c") {
 		t.Error("not down inside default outage window")
 	}
-	if i.BackendDown(30*time.Second, "c") {
+	if i.BackendDown(30*time.Second, "svc", "c") {
 		t.Error("down outside default outage window")
 	}
 }
@@ -161,7 +161,7 @@ func TestWindowsForceFaults(t *testing.T) {
 	if i.StatsDropped(7*time.Minute, "node-3") {
 		t.Error("window active past To")
 	}
-	if !i.BackendDown(90*time.Second, "any-container") {
+	if !i.BackendDown(90*time.Second, "any-svc", "any-container") {
 		t.Error("target-less window did not apply to all")
 	}
 }

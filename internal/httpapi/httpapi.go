@@ -21,6 +21,7 @@ import (
 	"hyscale/internal/core"
 	"hyscale/internal/obs"
 	"hyscale/internal/platform"
+	"hyscale/internal/resilience"
 	"hyscale/internal/resources"
 )
 
@@ -62,6 +63,7 @@ func New(w *platform.World, opts ...Option) *Server {
 	s.mux.HandleFunc("POST /v1/services/{name}/scale", s.handleScale)
 	s.mux.HandleFunc("GET /v1/nodes", s.handleNodes)
 	s.mux.HandleFunc("GET /v1/latency", s.handleLatency)
+	s.mux.HandleFunc("GET /v1/resilience", s.handleResilience)
 	s.mux.HandleFunc("GET /v1/timeline", s.handleTimeline)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -369,6 +371,32 @@ func (s *Server) handleLatency(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, out)
 }
 
+// handleResilience exports the cascading-failure defense state: the cumulative
+// counters (shed, retries, denials, deadline misses, short-circuits), every
+// call-graph edge's current breaker position, and the cascade's root/edge
+// conservation accounting. Worlds without a call graph report enabled=false
+// and all-zero counters.
+func (s *Server) handleResilience(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	res := s.world.Resilience()
+	out := struct {
+		Enabled  bool                  `json:"enabled"`
+		Counters resilience.Counters   `json:"counters"`
+		Breakers map[string]string     `json:"breakers"`
+		Cascade  platform.CascadeStats `json:"cascade"`
+	}{
+		Enabled:  s.world.HasCallGraph(),
+		Counters: res.Counters(),
+		Breakers: map[string]string{},
+		Cascade:  s.world.CascadeStats(),
+	}
+	for edge, st := range res.BreakerStates(s.world.Engine().Now()) {
+		out.Breakers[edge] = st.String()
+	}
+	s.mu.Unlock()
+	s.writeJSON(w, out)
+}
+
 // timelineDecision is the JSON form of one journaled decision, with the
 // simulated timestamp in seconds first (the same shape as the obs JSONL
 // artifact lines).
@@ -478,4 +506,38 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "hyscale_connection_failures_total{cause=\"starting\"} %d\n", cf.Starting)
 	fmt.Fprintf(w, "hyscale_connection_failures_total{cause=\"absent\"} %d\n", cf.Absent)
 	fmt.Fprintf(w, "hyscale_connection_failures_total{cause=\"unhealthy\"} %d\n", cf.Unhealthy)
+
+	// Resilience series only exist on call-graph worlds, so the exposition of
+	// every pre-existing scenario is byte-identical to before the layer.
+	if s.world.HasCallGraph() {
+		res := s.world.Resilience()
+		rc := res.Counters()
+		fmt.Fprintf(w, "# TYPE hyscale_shed_total counter\nhyscale_shed_total %d\n", rc.Shed)
+		fmt.Fprintf(w, "# TYPE hyscale_retries_issued_total counter\nhyscale_retries_issued_total %d\n", rc.Retries)
+		fmt.Fprintf(w, "# TYPE hyscale_retries_denied_total counter\nhyscale_retries_denied_total %d\n", rc.RetriesDenied)
+		fmt.Fprintf(w, "# TYPE hyscale_deadline_exceeded_total counter\nhyscale_deadline_exceeded_total %d\n", rc.DeadlineExceeded)
+		fmt.Fprintf(w, "# TYPE hyscale_breaker_short_circuits_total counter\nhyscale_breaker_short_circuits_total %d\n", rc.ShortCircuited)
+		fmt.Fprintf(w, "# TYPE hyscale_breaker_opens_total counter\nhyscale_breaker_opens_total %d\n", rc.BreakerOpens)
+
+		fmt.Fprintf(w, "# TYPE hyscale_breaker_state gauge\n")
+		states := res.BreakerStates(s.world.Engine().Now())
+		for _, edge := range res.BreakerEdges() {
+			fmt.Fprintf(w, "hyscale_breaker_state{edge=%q} %d\n", edge, int(states[edge]))
+		}
+
+		cs := s.world.CascadeStats()
+		fmt.Fprintf(w, "# TYPE hyscale_cascade_roots_total counter\n")
+		fmt.Fprintf(w, "hyscale_cascade_roots_total{outcome=\"generated\"} %d\n", cs.RootGenerated)
+		fmt.Fprintf(w, "hyscale_cascade_roots_total{outcome=\"completed\"} %d\n", cs.RootCompleted)
+		fmt.Fprintf(w, "hyscale_cascade_roots_total{outcome=\"shed\"} %d\n", cs.RootShed)
+		fmt.Fprintf(w, "hyscale_cascade_roots_total{outcome=\"deadline\"} %d\n", cs.RootDeadline)
+		fmt.Fprintf(w, "hyscale_cascade_roots_total{outcome=\"failed\"} %d\n", cs.RootFailed)
+
+		fmt.Fprintf(w, "# TYPE hyscale_edge_calls_total counter\n")
+		for _, key := range cs.EdgeKeys() {
+			e := cs.Edges[key]
+			fmt.Fprintf(w, "hyscale_edge_calls_total{edge=%q,result=\"delivered\"} %d\n", key, e.Delivered)
+			fmt.Fprintf(w, "hyscale_edge_calls_total{edge=%q,result=\"dropped\"} %d\n", key, e.Dropped)
+		}
+	}
 }

@@ -62,6 +62,12 @@ var ErrNoBackend = errors.New("lb: no routable replica")
 // Chaos analyses attribute these failures to start latency, not absence.
 var ErrAllStarting = errors.New("lb: all replicas still starting")
 
+// ErrAllFull is returned when healthy replicas exist but every one's bounded
+// admission queue is at capacity — the back-pressure signal of a saturated
+// tier. Only possible for services that declare a QueueLimit; callers treat
+// it as a shed/drop, not an outage.
+var ErrAllFull = errors.New("lb: all replica queues full")
+
 // defaultProbeInterval spaces health probes per backend.
 const defaultProbeInterval = 2 * time.Second
 
@@ -117,9 +123,12 @@ func (b *Balancer) Route(req *workload.Request, replicas []*container.Container)
 // ErrAllStarting when replicas exist but none has finished starting, and
 // ErrNoBackend when there is no viable backend at all.
 func (b *Balancer) RouteAt(now time.Duration, req *workload.Request, replicas []*container.Container) (*container.Container, error) {
-	routable, starting := b.split(now, replicas)
+	routable, starting, full := b.split(now, replicas)
 	if len(routable) == 0 {
-		if starting > 0 {
+		switch {
+		case full > 0:
+			return nil, ErrAllFull
+		case starting > 0:
 			return nil, ErrAllStarting
 		}
 		return nil, ErrNoBackend
@@ -164,13 +173,17 @@ func weightedScore(c *container.Container) float64 {
 	return float64(c.Inflight()) / cpu
 }
 
-// split partitions replicas into the viable rotation and a count of those
-// still starting. Health-ejected and overloaded replicas belong to neither:
-// they exist but cannot take traffic, which keeps ErrNoBackend (not
-// ErrAllStarting) the verdict when ejection empties the rotation.
-func (b *Balancer) split(now time.Duration, replicas []*container.Container) ([]*container.Container, int) {
+// split partitions replicas into the viable rotation plus counts of those
+// still starting and those healthy-but-queue-full. Health-ejected and
+// overloaded replicas belong to none of the three: they exist but cannot
+// take traffic, which keeps ErrNoBackend (not ErrAllStarting) the verdict
+// when ejection empties the rotation. Queue-full replicas are counted
+// separately so an entirely saturated tier reads as back-pressure
+// (ErrAllFull), not an outage.
+func (b *Balancer) split(now time.Duration, replicas []*container.Container) ([]*container.Container, int, int) {
 	out := make([]*container.Container, 0, len(replicas))
 	starting := 0
+	full := 0
 	for _, c := range replicas {
 		if !c.Routable() {
 			if c.State == container.StateStarting {
@@ -181,9 +194,13 @@ func (b *Balancer) split(now time.Duration, replicas []*container.Container) ([]
 		if c.Overloaded() || !b.healthy(now, c) {
 			continue
 		}
+		if c.QueueFull() {
+			full++
+			continue
+		}
 		out = append(out, c)
 	}
-	return out, starting
+	return out, starting, full
 }
 
 // healthy returns the (possibly cached) probe verdict for a backend.

@@ -85,7 +85,7 @@ func TestBackendDownResurrectionViaInjector(t *testing.T) {
 	run := func() string {
 		b := New(RoundRobin)
 		b.HealthCheck = func(now time.Duration, c *container.Container) bool {
-			return !inj.BackendDown(now, c.ID)
+			return !inj.BackendDown(now, c.Service, c.ID)
 		}
 		b.ProbeInterval = 2 * time.Second
 		reps := []*container.Container{replica("a"), replica("b"), replica("c")}

@@ -72,6 +72,14 @@ const (
 	EventColdRestart       EventKind = "cold-restart"
 )
 
+// Circuit-breaker event kinds, emitted by the resilience layer on breaker
+// state transitions. Event.Detail carries the call-graph edge ("a->b").
+const (
+	EventBreakerOpen     EventKind = "breaker-open"
+	EventBreakerHalfOpen EventKind = "breaker-half-open"
+	EventBreakerClose    EventKind = "breaker-close"
+)
+
 // Event is one self-healing occurrence: a detector transition, a reconcile
 // step, or a monitor restart.
 type Event struct {

@@ -19,6 +19,7 @@ import (
 	"hyscale/internal/metrics"
 	"hyscale/internal/monitor"
 	"hyscale/internal/obs"
+	"hyscale/internal/resilience"
 	"hyscale/internal/resources"
 	"hyscale/internal/sim"
 	"hyscale/internal/workload"
@@ -70,6 +71,14 @@ type Config struct {
 	// time series sampled each monitor period. Off (the default) costs
 	// nothing on the hot path.
 	Observe bool
+	// CallGraph declares inter-service call dependencies. The zero value
+	// (no edges) keeps every service independent — the paper's workload —
+	// and leaves the request hot path untouched.
+	CallGraph workload.CallGraph
+	// Resilience enables the cascading-failure defenses (circuit breakers,
+	// retry budgets, deadline propagation, load shedding) on the call
+	// graph's traffic. The zero value disables everything.
+	Resilience resilience.Config
 }
 
 // DefaultConfig mirrors the paper's experimental setup: 24 nodes minus the
@@ -127,6 +136,9 @@ type World struct {
 	faults   *faults.Injector
 	connFail ConnFailureBreakdown
 	journal  *obs.Journal
+	// graph is the call-graph propagation layer, nil unless the config
+	// declares a CallGraph or any resilience defense.
+	graph *graphRun
 
 	// ReplicaSeries records per-service replica counts at each monitor
 	// poll, for the resource-efficiency analyses.
@@ -181,11 +193,34 @@ func New(cfg Config, algo core.Algorithm) (*World, error) {
 	w.monitor.StartDelay = cfg.StartDelay
 	w.monitor.SelfHeal = cfg.SelfHealing
 	w.monitor.OnRemovalFailure = func(r *workload.Request) {
+		if w.graph != nil {
+			w.graph.onRemoval(r)
+			return
+		}
 		w.recorder.RecordFailure(r.Service, workload.FailureRemoval)
 		w.costs.ObserveFailure()
 	}
 	if err := cfg.Faults.Validate(); err != nil {
 		return nil, err
+	}
+	if err := cfg.Resilience.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.CallGraph.Validate(nil); err != nil {
+		return nil, err
+	}
+	if cfg.CallGraph.Enabled() || cfg.Resilience.Enabled() {
+		m := resilience.NewManager(cfg.Resilience, cfg.Seed)
+		if m != nil && cfg.Observe {
+			m.OnTransition = func(now time.Duration, edge string, from, to resilience.BreakerState) {
+				w.journal.Event(obs.Event{
+					At:     now,
+					Kind:   breakerEventKind(to),
+					Detail: edge + ": " + from.String() + " -> " + to.String(),
+				})
+			}
+		}
+		w.graph = newGraphRun(w, cfg.CallGraph, m)
 	}
 	w.faults = faults.New(cfg.Faults)
 	w.monitor.Faults = w.faults
@@ -195,7 +230,7 @@ func New(cfg Config, algo core.Algorithm) (*World, error) {
 		// The hardened balancer probes backends against the injected outage
 		// schedule; the unhardened one routes blind and eats the failures.
 		w.lb.HealthCheck = func(now time.Duration, c *container.Container) bool {
-			return !w.faults.BackendDown(now, c.ID)
+			return !w.faults.BackendDown(now, c.Service, c.ID)
 		}
 	}
 	return w, nil
@@ -293,8 +328,13 @@ func (w *World) InjectRequests(at time.Duration, window time.Duration, service s
 	return nil
 }
 
-// route sends one request through the load balancer.
+// route sends one request through the load balancer. Call-graph worlds
+// divert to the propagation layer; plain worlds run the original path.
 func (w *World) route(req *workload.Request) {
+	if w.graph != nil {
+		w.graph.route(req)
+		return
+	}
 	req.ExtraLatency += w.cfg.BaseLatency
 	now := w.engine.Now()
 	replicas := w.monitor.Replicas(req.Service)
@@ -309,7 +349,7 @@ func (w *World) route(req *workload.Request) {
 		w.costs.ObserveFailure()
 		return
 	}
-	if w.faults.BackendDown(now, target.ID) {
+	if w.faults.BackendDown(now, target.Service, target.ID) {
 		// The chosen backend is black-holing connections — an outage the
 		// balancer's probes have not (or, unhardened, will never) notice.
 		w.connFail.Unhealthy++
@@ -336,18 +376,22 @@ func (w *World) tick(e *sim.Engine) {
 	}
 
 	res := w.cluster.Advance(now, dt)
-	for _, done := range res.Completed {
-		r := done.Request
-		latency := done.At - r.Arrival + r.ExtraLatency
-		if latency < 0 {
-			latency = 0
+	if w.graph != nil {
+		w.graph.afterAdvance(now+dt, res)
+	} else {
+		for _, done := range res.Completed {
+			r := done.Request
+			latency := done.At - r.Arrival + r.ExtraLatency
+			if latency < 0 {
+				latency = 0
+			}
+			w.recorder.RecordCompletion(r.Service, latency)
+			w.costs.ObserveCompletion(latency)
 		}
-		w.recorder.RecordCompletion(r.Service, latency)
-		w.costs.ObserveCompletion(latency)
-	}
-	for _, r := range res.TimedOut {
-		w.recorder.RecordFailure(r.Service, workload.FailureConnection)
-		w.costs.ObserveFailure()
+		for _, r := range res.TimedOut {
+			w.recorder.RecordFailure(r.Service, workload.FailureConnection)
+			w.costs.ObserveFailure()
+		}
 	}
 
 	// Machines hosting at least one container count as powered; idle ones
@@ -422,6 +466,11 @@ func (w *World) poll(e *sim.Engine) {
 // physics and monitor tasks are scheduled exactly once.
 func (w *World) Run(horizon time.Duration) error {
 	if !w.started {
+		if w.graph != nil {
+			if err := w.graph.checkServices(); err != nil {
+				return err
+			}
+		}
 		if err := w.engine.SchedulePeriodic(w.cfg.Tick, w.cfg.Tick, w.tick); err != nil {
 			return err
 		}
@@ -488,6 +537,28 @@ func (w *World) Journal() *obs.Journal { return w.journal }
 // MonitorCrashes returns how many poll periods were lost to monitor-crash
 // fault windows.
 func (w *World) MonitorCrashes() uint64 { return w.monitorCrashes }
+
+// CascadeStats returns the call-graph run's root-outcome and per-edge
+// counters (zero when no call graph is configured).
+func (w *World) CascadeStats() CascadeStats {
+	if w.graph == nil {
+		return CascadeStats{}
+	}
+	return w.graph.Stats()
+}
+
+// HasCallGraph reports whether this world routes requests through a
+// per-service call DAG (the cascade propagation layer).
+func (w *World) HasCallGraph() bool { return w.graph != nil }
+
+// Resilience returns the run's resilience manager, nil when no defense is
+// enabled. All Manager methods are nil-safe.
+func (w *World) Resilience() *resilience.Manager {
+	if w.graph == nil {
+		return nil
+	}
+	return w.graph.res
+}
 
 // CostReport prices the run so far (machine-hours + SLA penalties).
 func (w *World) CostReport() cost.Report { return w.costs.Report() }

@@ -10,6 +10,7 @@ import (
 	"hyscale/internal/monitor"
 	"hyscale/internal/obs"
 	"hyscale/internal/platform"
+	"hyscale/internal/resilience"
 )
 
 // Result is what one RunSpec produces: the aggregate measurements every
@@ -33,6 +34,15 @@ type Result struct {
 	// component scheduled them in the past — the scheduling errors that used
 	// to be silently dropped. Non-zero values flag stale-timestamp bugs.
 	ClampedEvents uint64 `json:"clampedEvents"`
+
+	// Cascade holds the call-graph run's root-outcome and per-edge
+	// accounting (nil unless the spec configured a call graph).
+	Cascade *platform.CascadeStats `json:"cascade,omitempty"`
+
+	// Resilience holds the cascade-defense counters: shed, retries, retry
+	// denials, deadline misses, breaker short-circuits and opens (nil unless
+	// the spec configured a call graph).
+	Resilience *resilience.Counters `json:"resilience,omitempty"`
 
 	// Extra holds hook-harvested measurements (e.g. "uptimePercent" from the
 	// chaos probe).
@@ -157,6 +167,12 @@ func Run(spec RunSpec) (Result, error) {
 		ClampedEvents:  w.ClampedEvents(),
 		World:          w,
 		Journal:        w.Journal(),
+	}
+	if w.HasCallGraph() {
+		cs := w.CascadeStats()
+		rc := w.Resilience().Counters()
+		res.Cascade = &cs
+		res.Resilience = &rc
 	}
 	for _, fin := range fins {
 		fin(&res)

@@ -1,0 +1,167 @@
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+)
+
+// This file rewrites the std json package's terse decode errors into ones
+// that carry the offending key path. encoding/json reports an unknown field
+// as `json: unknown field "qeueLimit"` with no location — useless in a
+// scenario with a dozen services — so describeError re-walks the document
+// against the Scenario struct's json tags to find where that key actually
+// sits ("services[2].qeueLimit"). Type errors already carry a field path;
+// they are just reformatted, and syntax errors gain a line/column.
+
+// describeError enriches a Decode error with the offending key path.
+func describeError(data []byte, err error) error {
+	var typeErr *json.UnmarshalTypeError
+	if errors.As(err, &typeErr) {
+		path := typeErr.Field
+		if path == "" {
+			path = "(document root)"
+		}
+		return fmt.Errorf("scenario: invalid value at %s: got JSON %s, want %s",
+			path, typeErr.Value, typeErr.Type)
+	}
+	var synErr *json.SyntaxError
+	if errors.As(err, &synErr) {
+		line, col := lineCol(data, synErr.Offset)
+		return fmt.Errorf("scenario: invalid JSON at line %d, column %d: %w", line, col, err)
+	}
+	if name, ok := unknownFieldName(err); ok {
+		if path, found := findKeyPath(data, name); found {
+			return fmt.Errorf("scenario: unknown field %q at %s", name, path)
+		}
+		return fmt.Errorf("scenario: unknown field %q", name)
+	}
+	return fmt.Errorf("scenario: %w", err)
+}
+
+// unknownFieldName extracts the field from `json: unknown field "x"`.
+func unknownFieldName(err error) (string, bool) {
+	msg := err.Error()
+	const marker = `unknown field "`
+	i := strings.Index(msg, marker)
+	if i < 0 {
+		return "", false
+	}
+	rest := msg[i+len(marker):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return "", false
+	}
+	return rest[:j], true
+}
+
+// lineCol converts a byte offset into 1-based line and column numbers.
+func lineCol(data []byte, offset int64) (int, int) {
+	if offset > int64(len(data)) {
+		offset = int64(len(data))
+	}
+	line, col := 1, 1
+	for _, b := range data[:offset] {
+		if b == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return line, col
+}
+
+// findKeyPath locates field as an unknown key somewhere in the document,
+// walking the generically-decoded value in lockstep with the Scenario
+// struct's json tags.
+func findKeyPath(data []byte, field string) (string, bool) {
+	var v interface{}
+	if json.Unmarshal(data, &v) != nil {
+		return "", false
+	}
+	return findUnknown(v, reflect.TypeOf(Scenario{}), "", field)
+}
+
+// findUnknown recursively matches the decoded value against the struct
+// shape; keys absent from the struct's tags are the unknown-field suspects.
+func findUnknown(v interface{}, t reflect.Type, path, field string) (string, bool) {
+	for t.Kind() == reflect.Ptr {
+		t = t.Elem()
+	}
+	switch t.Kind() {
+	case reflect.Struct:
+		m, ok := v.(map[string]interface{})
+		if !ok {
+			return "", false
+		}
+		fields := jsonFields(t)
+		for key, val := range m {
+			sub := key
+			if path != "" {
+				sub = path + "." + key
+			}
+			ft, known := fields[key]
+			if !known {
+				if key == field {
+					return sub, true
+				}
+				continue
+			}
+			if p, found := findUnknown(val, ft, sub, field); found {
+				return p, true
+			}
+		}
+	case reflect.Slice, reflect.Array:
+		arr, ok := v.([]interface{})
+		if !ok {
+			return "", false
+		}
+		for i, item := range arr {
+			if p, found := findUnknown(item, t.Elem(), fmt.Sprintf("%s[%d]", path, i), field); found {
+				return p, true
+			}
+		}
+	case reflect.Map:
+		m, ok := v.(map[string]interface{})
+		if !ok {
+			return "", false
+		}
+		for key, val := range m {
+			sub := key
+			if path != "" {
+				sub = path + "." + key
+			}
+			if p, found := findUnknown(val, t.Elem(), sub, field); found {
+				return p, true
+			}
+		}
+	}
+	return "", false
+}
+
+// jsonFields maps a struct's json keys to their field types, honouring tag
+// renames and skipping "-" fields.
+func jsonFields(t reflect.Type) map[string]reflect.Type {
+	out := make(map[string]reflect.Type, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if f.PkgPath != "" {
+			continue // unexported
+		}
+		name := f.Name
+		if tag, ok := f.Tag.Lookup("json"); ok {
+			base, _, _ := strings.Cut(tag, ",")
+			if base == "-" {
+				continue
+			}
+			if base != "" {
+				name = base
+			}
+		}
+		out[name] = f.Type
+	}
+	return out
+}

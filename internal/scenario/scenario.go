@@ -21,6 +21,7 @@
 package scenario
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -31,6 +32,7 @@ import (
 	"hyscale/internal/loadgen"
 	"hyscale/internal/monitor"
 	"hyscale/internal/platform"
+	"hyscale/internal/resilience"
 	"hyscale/internal/runner"
 	"hyscale/internal/workload"
 )
@@ -59,7 +61,9 @@ func (d Duration) MarshalJSON() ([]byte, error) {
 
 // Load describes an arrival pattern.
 type Load struct {
-	// Type is one of constant|wave|burst|ramp|diurnal|flashcrowd.
+	// Type is one of constant|wave|burst|ramp|diurnal|flashcrowd, or none
+	// for services that receive no external traffic (downstream tiers of a
+	// call graph, driven purely by upstream calls).
 	Type string `json:"type"`
 	// Base is the base rate in requests/second (constant rate for
 	// "constant", start rate for "ramp").
@@ -85,6 +89,8 @@ type Load struct {
 // Pattern materialises the load description.
 func (l Load) Pattern() (loadgen.Pattern, error) {
 	switch l.Type {
+	case "", "none":
+		return nil, nil
 	case "constant":
 		return loadgen.Constant{RPS: l.Base}, nil
 	case "wave":
@@ -129,6 +135,9 @@ type Service struct {
 	MaxReplicas int      `json:"maxReplicas,omitempty"`
 	Timeout     Duration `json:"timeout,omitempty"`
 	StateSyncMB float64  `json:"stateSyncMB,omitempty"`
+	// QueueLimit bounds one replica's in-flight admissions (0 = unbounded);
+	// the back-pressure knob for call-graph scenarios.
+	QueueLimit int `json:"queueLimit,omitempty"`
 
 	TargetUtil float64 `json:"targetUtil,omitempty"`
 	Load       Load    `json:"load"`
@@ -164,6 +173,7 @@ func (s Service) Spec() (workload.ServiceSpec, error) {
 		MaxReplicas:           s.MaxReplicas,
 		Timeout:               time.Duration(s.Timeout),
 		StateSyncMB:           s.StateSyncMB,
+		QueueLimit:            s.QueueLimit,
 	}
 	// Kind-appropriate defaults for the common fields.
 	if spec.CPUPerRequest == 0 {
@@ -225,7 +235,8 @@ type NodeFailure struct {
 
 // FaultWindow forces one fault kind during an interval — see faults.Window.
 type FaultWindow struct {
-	// Kind is one of vertical|start|stats|backend|monitor-crash|partition.
+	// Kind is one of
+	// vertical|start|stats|backend|monitor-crash|partition|slow-backend.
 	Kind string `json:"kind"`
 	// Target narrows the window to one container/service/node; empty hits
 	// every target (monitor-crash windows take no target).
@@ -236,6 +247,8 @@ type FaultWindow struct {
 	// link: "stats" (queries black-holed) or "actions" (control actions
 	// black-holed); empty cuts both.
 	Direction string `json:"direction,omitempty"`
+	// Factor is the CPU-work multiplier of a slow-backend window (> 1).
+	Factor float64 `json:"factor,omitempty"`
 }
 
 // Faults declares control-plane fault injection for a scenario.
@@ -290,7 +303,87 @@ func (f *Faults) Config(scenarioSeed int64) faults.Config {
 			From:      time.Duration(w.From),
 			To:        time.Duration(w.To),
 			Direction: w.Direction,
+			Factor:    w.Factor,
 		})
+	}
+	return cfg
+}
+
+// Resilience declares the cascading-failure defenses for a scenario. Each
+// block is off when omitted, so a bare `"resilience": {}` enables nothing.
+type Resilience struct {
+	Breakers  *BreakerDecl  `json:"breakers,omitempty"`
+	Retry     *RetryDecl    `json:"retry,omitempty"`
+	Deadlines *DeadlineDecl `json:"deadlines,omitempty"`
+	Shedding  *ShedDecl     `json:"shedding,omitempty"`
+}
+
+// BreakerDecl declares the per-edge circuit breakers.
+type BreakerDecl struct {
+	// FailuresToOpen is the consecutive-failure trip count (default 5).
+	FailuresToOpen int `json:"failuresToOpen,omitempty"`
+	// OpenFor is the open-state cooldown before half-open (default 5s).
+	OpenFor Duration `json:"openFor,omitempty"`
+	// HalfOpenProbes is the probe count a half-open breaker admits
+	// (default 1).
+	HalfOpenProbes int `json:"halfOpenProbes,omitempty"`
+}
+
+// RetryDecl declares the client retry policy and its budget.
+type RetryDecl struct {
+	// MaxAttempts bounds attempts per call slot including the first
+	// (default 3).
+	MaxAttempts int `json:"maxAttempts,omitempty"`
+	// Backoff is the delay before each retry (default 100ms).
+	Backoff Duration `json:"backoff,omitempty"`
+	// Budget caps retries at Budget × first-attempt calls per calling
+	// service (0 = unlimited — the retry-storm configuration).
+	Budget float64 `json:"budget,omitempty"`
+}
+
+// DeadlineDecl enables deadline propagation down the call chain.
+type DeadlineDecl struct {
+	// Margin is subtracted per hop from the inherited deadline.
+	Margin Duration `json:"margin,omitempty"`
+}
+
+// ShedDecl declares utilization-triggered adaptive load shedding.
+type ShedDecl struct {
+	// UtilThreshold is the replica admission-queue occupancy (in-flight over
+	// queueLimit) above which shedding ramps (default 0.9).
+	UtilThreshold float64 `json:"utilThreshold,omitempty"`
+	// MaxShed caps the shed probability (default 0.95).
+	MaxShed float64 `json:"maxShed,omitempty"`
+}
+
+// Config materialises the resilience declaration.
+func (r *Resilience) Config() resilience.Config {
+	if r == nil {
+		return resilience.Config{}
+	}
+	var cfg resilience.Config
+	if b := r.Breakers; b != nil {
+		cfg.Breakers = &resilience.BreakerConfig{
+			FailuresToOpen: b.FailuresToOpen,
+			OpenFor:        time.Duration(b.OpenFor),
+			HalfOpenProbes: b.HalfOpenProbes,
+		}
+	}
+	if t := r.Retry; t != nil {
+		cfg.Retry = &resilience.RetryConfig{
+			MaxAttempts: t.MaxAttempts,
+			Backoff:     time.Duration(t.Backoff),
+			Budget:      t.Budget,
+		}
+	}
+	if d := r.Deadlines; d != nil {
+		cfg.Deadlines = &resilience.DeadlineConfig{Margin: time.Duration(d.Margin)}
+	}
+	if s := r.Shedding; s != nil {
+		cfg.Shedding = &resilience.ShedConfig{
+			UtilThreshold: s.UtilThreshold,
+			MaxShed:       s.MaxShed,
+		}
 	}
 	return cfg
 }
@@ -349,16 +442,28 @@ type Scenario struct {
 	// SelfHealing declares the Monitor's failure detector, reconciler and
 	// checkpoint/restore (nil disables all three).
 	SelfHealing *SelfHealing `json:"selfHealing,omitempty"`
+	// CallGraph declares inter-service call edges; every edge endpoint must
+	// name a declared service and the graph must be acyclic. Nil keeps all
+	// services independent.
+	CallGraph *workload.CallGraph `json:"callGraph,omitempty"`
+	// Resilience declares the cascading-failure defenses (nil disables all).
+	Resilience *Resilience `json:"resilience,omitempty"`
 }
 
 // Parse reads a scenario from JSON, rejecting unknown fields so typos
-// surface instead of silently doing nothing.
+// surface instead of silently doing nothing. Decode errors carry the
+// offending key path ("services[2].qeueLimit") rather than the std json
+// package's bare message.
 func Parse(r io.Reader) (*Scenario, error) {
-	dec := json.NewDecoder(r)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	var sc Scenario
 	if err := dec.Decode(&sc); err != nil {
-		return nil, fmt.Errorf("scenario: %w", err)
+		return nil, describeError(data, err)
 	}
 	if err := sc.Validate(); err != nil {
 		return nil, err
@@ -393,6 +498,14 @@ func (sc *Scenario) Validate() error {
 	if err := sc.Faults.Config(sc.Seed).Validate(); err != nil {
 		return err
 	}
+	if sc.CallGraph != nil {
+		if err := sc.CallGraph.Validate(seen); err != nil {
+			return err
+		}
+	}
+	if err := sc.Resilience.Config().Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -417,6 +530,10 @@ func (sc *Scenario) Compile() (runner.RunSpec, error) {
 		cfg.HardeningOff = !*sc.Faults.Hardening
 	}
 	cfg.SelfHealing = sc.SelfHealing.Config()
+	if sc.CallGraph != nil {
+		cfg.CallGraph = *sc.CallGraph
+	}
+	cfg.Resilience = sc.Resilience.Config()
 
 	spec := runner.RunSpec{
 		Name:      "scenario",

@@ -92,6 +92,13 @@ type ServiceSpec struct {
 	// (a "connection failure" in the paper's terminology).
 	Timeout time.Duration
 
+	// QueueLimit bounds the number of in-flight requests one replica will
+	// hold (its admission queue). Zero means unbounded — the paper's
+	// original model. Bounded queues are what lets congestion at a slow
+	// downstream tier back-pressure its callers instead of growing an
+	// invisible infinite queue.
+	QueueLimit int
+
 	// StateSyncMB is the state a fresh replica must receive from the
 	// existing replicas before it can serve (0 = stateless). The paper
 	// singles out stateful services as the case where horizontal scaling is
@@ -138,6 +145,8 @@ func (s ServiceSpec) Validate() error {
 		return fmt.Errorf("workload: service %q has MaxReplicas < MinReplicas", s.Name)
 	case s.Timeout <= 0:
 		return fmt.Errorf("workload: service %q needs a positive timeout", s.Name)
+	case s.QueueLimit < 0:
+		return fmt.Errorf("workload: service %q has negative queue limit", s.Name)
 	}
 	return nil
 }
@@ -185,10 +194,14 @@ func (f FailureClass) String() string {
 // and the network stage (transmit it through the container's egress shaper).
 type Phase int
 
-// Request phases.
+// Request phases. PhaseWait only occurs in call-graph runs: the request's
+// own CPU and network work is done but downstream calls are still
+// outstanding, so it keeps holding its replica's queue slot and memory —
+// the mechanism that back-pressures callers of a slow dependency.
 const (
 	PhaseCPU Phase = iota + 1
 	PhaseNet
+	PhaseWait
 	PhaseDone
 )
 
@@ -218,6 +231,22 @@ type Request struct {
 	// ExtraLatency accumulates latency charged outside resource contention,
 	// e.g. the cross-node distribution overhead of §III-A.
 	ExtraLatency time.Duration
+
+	// Call-graph fields, all zero for the paper's independent-service
+	// workloads. Edge is the call-graph edge key ("from->to") for
+	// downstream calls and empty for root requests; ParentID is the caller
+	// request's ID (0 for roots); Attempt is the 1-based attempt ordinal of
+	// this call slot (retries re-issue with Attempt+1).
+	Edge     string
+	ParentID uint64
+	Attempt  int
+	// PendingChildren counts downstream calls this request still waits on;
+	// while positive a request whose own phases finished parks in
+	// PhaseWait instead of completing. Managed by the platform layer.
+	PendingChildren int
+	// OwnDoneAt records when the request's own CPU/network phases finished,
+	// for latency composition once the last child returns.
+	OwnDoneAt time.Duration
 }
 
 // NewRequest builds a request for spec arriving at the given simulated time.
