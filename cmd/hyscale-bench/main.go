@@ -12,6 +12,10 @@
 // decisions/<run>.jsonl, series/<run>.csv, and report.md with sparkline
 // charts and decision timelines. Artifact bytes are identical for any
 // -parallel worker count.
+//
+// -perf runs the pinned performance suite instead of an experiment and
+// writes a BENCH_<n>.json report (see internal/perf and DESIGN.md §12);
+// -cpuprofile/-memprofile capture pprof profiles of whatever mode ran.
 package main
 
 import (
@@ -20,30 +24,75 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"hyscale/internal/experiments"
 	"hyscale/internal/obs"
+	"hyscale/internal/perf"
 )
 
-func main() {
+func main() { os.Exit(realMain()) }
+
+// realMain carries the exit code back to main so deferred profile writers
+// run on every path; a bare os.Exit would silently truncate the profiles.
+func realMain() int {
 	var (
-		exp      = flag.String("exp", "", "experiment to run: fig2|mem|fig3|fig6|fig7|fig8|fig9|fig10|macro|... (empty with -all runs everything)")
-		all      = flag.Bool("all", false, "run every experiment")
-		scale    = flag.Float64("scale", 1.0, "duration scale (1.0 = paper-sized, one hour macro runs)")
-		seed     = flag.Int64("seed", 1, "random seed")
-		parallel = flag.Int("parallel", 0, "max simulation runs in flight (<=0 uses GOMAXPROCS); results are identical for any value")
-		md       = flag.String("md", "", "also write a markdown report to this file")
-		csv      = flag.String("csv", "", "also write each table as CSV into this directory")
-		report   = flag.String("report", "", "journal every run and write decision logs, time-series CSVs and a rendered report into this directory")
-		timing   = flag.Bool("timing", true, "print per-run wall-clock timings after each experiment")
+		exp        = flag.String("exp", "", "experiment to run: fig2|mem|fig3|fig6|fig7|fig8|fig9|fig10|macro|... (empty with -all runs everything)")
+		all        = flag.Bool("all", false, "run every experiment")
+		scale      = flag.Float64("scale", 1.0, "duration scale (1.0 = paper-sized, one hour macro runs)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		parallel   = flag.Int("parallel", 0, "max simulation runs in flight (<=0 uses GOMAXPROCS); results are identical for any value")
+		md         = flag.String("md", "", "also write a markdown report to this file")
+		csv        = flag.String("csv", "", "also write each table as CSV into this directory")
+		report     = flag.String("report", "", "journal every run and write decision logs, time-series CSVs and a rendered report into this directory")
+		timing     = flag.Bool("timing", true, "print per-run wall-clock timings after each experiment")
+		perfMode   = flag.Bool("perf", false, "run the pinned performance suite and write a BENCH_<n>.json report instead of an experiment")
+		perfOut    = flag.String("perf-out", "BENCH_7.json", "output path for the -perf report")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
 
-	if !*all && *exp == "" {
-		fmt.Fprintln(os.Stderr, "usage: hyscale-bench -all | -exp <id> [-scale S] [-seed N] [-parallel N] [-md file] [-report dir]")
-		os.Exit(2)
+	if !*all && *exp == "" && !*perfMode {
+		fmt.Fprintln(os.Stderr, "usage: hyscale-bench -all | -exp <id> | -perf [-scale S] [-seed N] [-parallel N] [-md file] [-report dir]")
+		return 2
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hyscale-bench: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "hyscale-bench: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hyscale-bench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // snapshot live heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "hyscale-bench: %v\n", err)
+			}
+		}()
+	}
+
+	if *perfMode {
+		return runPerf(*seed, *scale, *perfOut)
 	}
 
 	opts := experiments.Options{Seed: *seed, Scale: *scale, Parallel: *parallel, Observe: *report != ""}
@@ -73,7 +122,7 @@ func main() {
 		if err != nil {
 			out.Flush()
 			fmt.Fprintf(os.Stderr, "hyscale-bench: %s: %v\n", id, err)
-			os.Exit(1)
+			return 1
 		}
 		var block strings.Builder
 		for _, t := range ts {
@@ -102,13 +151,13 @@ func main() {
 	if *csv != "" {
 		if err := os.MkdirAll(*csv, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "hyscale-bench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		for _, t := range tables {
 			path := filepath.Join(*csv, t.Slug()+".csv")
 			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "hyscale-bench: writing %s: %v\n", path, err)
-				os.Exit(1)
+				return 1
 			}
 		}
 		fmt.Fprintf(out, "wrote %d CSV files to %s\n", len(tables), *csv)
@@ -125,7 +174,7 @@ func main() {
 		}
 		if err := os.WriteFile(*md, []byte(b.String()), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "hyscale-bench: writing %s: %v\n", *md, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(out, "wrote %s\n", *md)
 		out.Flush()
@@ -135,11 +184,33 @@ func main() {
 		runs := experiments.TakeArtifacts()
 		if err := obs.WriteReportDir(*report, reproduceCommand(*all, ids, *scale, *seed, *report), runs); err != nil {
 			fmt.Fprintf(os.Stderr, "hyscale-bench: report: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(out, "wrote report for %d runs to %s\n", len(runs), *report)
 		out.Flush()
 	}
+	return 0
+}
+
+// runPerf executes the pinned performance suite and writes the JSON report.
+func runPerf(seed int64, scale float64, outPath string) int {
+	rep, err := perf.Run(perf.Options{Seed: seed, Scale: scale, PR: 7})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hyscale-bench: perf: %v\n", err)
+		return 1
+	}
+	b, err := rep.JSON()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hyscale-bench: perf: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile(outPath, b, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "hyscale-bench: perf: %v\n", err)
+		return 1
+	}
+	fmt.Print(rep.Summary())
+	fmt.Printf("wrote %s\n", outPath)
+	return 0
 }
 
 // reproduceCommand reconstructs the canonical command line that regenerates a
@@ -223,6 +294,12 @@ func run(id string, opts experiments.Options) ([]*experiments.Table, error) {
 		return []*experiments.Table{r.Table()}, nil
 	case "cascade":
 		r, err := experiments.RunCascade(opts)
+		if err != nil {
+			return nil, err
+		}
+		return []*experiments.Table{r.Table()}, nil
+	case "scale":
+		r, err := experiments.RunScale(opts)
 		if err != nil {
 			return nil, err
 		}

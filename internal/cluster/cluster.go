@@ -12,6 +12,10 @@ import (
 type Cluster struct {
 	nodes []*Node
 	byID  map[string]*Node
+
+	// tickBuf is Advance's reusable merge buffer; the returned TickResult
+	// aliases it and is valid until the next Advance.
+	tickBuf TickResult
 }
 
 // New builds a cluster from node configs, preserving order.
@@ -106,13 +110,16 @@ func (c *Cluster) ReplicasOf(service string) []*container.Container {
 	return out
 }
 
-// Advance runs one physics tick on every node and merges the results.
+// Advance runs one physics tick on every node and merges the results. The
+// returned TickResult's slices are scratch reused by the next Advance;
+// consume them before ticking again.
 func (c *Cluster) Advance(now time.Duration, dt time.Duration) TickResult {
-	var res TickResult
+	res := TickResult{Completed: c.tickBuf.Completed[:0], TimedOut: c.tickBuf.TimedOut[:0]}
 	for _, n := range c.nodes {
 		r := n.Advance(now, dt)
 		res.Completed = append(res.Completed, r.Completed...)
 		res.TimedOut = append(res.TimedOut, r.TimedOut...)
 	}
+	c.tickBuf = res
 	return res
 }

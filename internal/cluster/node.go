@@ -60,6 +60,18 @@ type Node struct {
 	// byID provides O(1) lookup.
 	containers []*container.Container
 	byID       map[string]*container.Container
+
+	// version counts container set changes (adds and removals), letting the
+	// Monitor skip rebuilding per-node snapshot state when nothing moved.
+	version uint64
+
+	// Per-tick scratch buffers reused across Advance calls so steady-state
+	// physics ticks allocate nothing.
+	flowsBuf []netem.Flow
+	ratesBuf []float64
+	claimBuf []cpuClaimant
+	netAlloc netem.Allocator
+	tickBuf  TickResult
 }
 
 // NewNode builds a node from cfg.
@@ -94,8 +106,14 @@ func (n *Node) AddContainer(c *container.Container) error {
 	c.NodeID = n.cfg.ID
 	n.containers = append(n.containers, c)
 	n.byID[c.ID] = c
+	n.version++
 	return nil
 }
+
+// Version counts container placements and removals on this node. A snapshot
+// layer can cache per-node derived state and rebuild it only when the version
+// moved.
+func (n *Node) Version() uint64 { return n.version }
 
 // RemoveContainer removes the container and returns its killed in-flight
 // requests (removal failures). It is a no-op returning nil for unknown IDs.
@@ -111,6 +129,7 @@ func (n *Node) RemoveContainer(id string) []*workload.Request {
 			break
 		}
 	}
+	n.version++
 	return c.Remove()
 }
 
@@ -171,8 +190,13 @@ func (t *TickResult) merge(o container.AdvanceResult) {
 //  3. Network: max-min fair NIC allocation with tc caps and tx-queue
 //     contention (see netem).
 //  4. Each container advances its in-flight requests.
+//
+// The returned TickResult's slices are scratch reused by the next Advance on
+// this node; consume them before ticking again.
 func (n *Node) Advance(now time.Duration, dt time.Duration) TickResult {
-	var res TickResult
+	n.tickBuf.Completed = n.tickBuf.Completed[:0]
+	n.tickBuf.TimedOut = n.tickBuf.TimedOut[:0]
+	res := TickResult{Completed: n.tickBuf.Completed, TimedOut: n.tickBuf.TimedOut}
 	if dt <= 0 || len(n.containers) == 0 {
 		return res
 	}
@@ -182,13 +206,15 @@ func (n *Node) Advance(now time.Duration, dt time.Duration) TickResult {
 
 	cpuRates := n.allocateCPU()
 
-	flows := make([]netem.Flow, len(n.containers))
-	for i, c := range n.containers {
+	n.flowsBuf = n.flowsBuf[:0]
+	for _, c := range n.containers {
+		f := netem.Flow{}
 		if c.State == container.StateRunning {
-			flows[i] = netem.Flow{CapMbps: c.Alloc.NetMbps, Count: c.NetFlowCount()}
+			f = netem.Flow{CapMbps: c.Alloc.NetMbps, Count: c.NetFlowCount()}
 		}
+		n.flowsBuf = append(n.flowsBuf, f)
 	}
-	netShares := n.cfg.Net.Allocate(flows)
+	netShares := n.netAlloc.Allocate(n.cfg.Net, n.flowsBuf)
 
 	for i, c := range n.containers {
 		if c.State != container.StateRunning {
@@ -198,22 +224,30 @@ func (n *Node) Advance(now time.Duration, dt time.Duration) TickResult {
 		}
 		res.merge(c.Advance(now, dt, cpuRates[i], netShares[i].RateMbps))
 	}
+	n.tickBuf = res
 	return res
 }
 
-// allocateCPU computes the CPU rate delivered to each container this tick.
-// The returned slice is indexed like n.containers.
-func (n *Node) allocateCPU() []float64 {
-	rates := make([]float64, len(n.containers))
+// cpuClaimant is one running container's demand in the weighted
+// water-filling round of allocateCPU.
+type cpuClaimant struct {
+	idx    int
+	weight float64
+	demand float64
+	rate   float64
+	frozen bool
+}
 
-	type claimant struct {
-		idx    int
-		weight float64
-		demand float64
-		rate   float64
-		frozen bool
+// allocateCPU computes the CPU rate delivered to each container this tick.
+// The returned slice is indexed like n.containers and reused across ticks.
+func (n *Node) allocateCPU() []float64 {
+	if cap(n.ratesBuf) < len(n.containers) {
+		n.ratesBuf = make([]float64, len(n.containers))
 	}
-	var claimants []claimant
+	rates := n.ratesBuf[:len(n.containers)]
+	clear(rates)
+
+	claimants := n.claimBuf[:0]
 	active := 0
 	for i, c := range n.containers {
 		if c.State != container.StateRunning {
@@ -236,9 +270,10 @@ func (n *Node) allocateCPU() []float64 {
 			// weight so zero-request containers still make progress.
 			w = 0.01
 		}
-		claimants = append(claimants, claimant{idx: i, weight: w, demand: d})
+		claimants = append(claimants, cpuClaimant{idx: i, weight: w, demand: d})
 		active++
 	}
+	n.claimBuf = claimants
 	if active == 0 {
 		return rates
 	}

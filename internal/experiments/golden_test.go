@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFig2TableGolden pins the rendered Fig-2 table bytes against a committed
+// golden generated BEFORE the hot-path overhaul. Fig 2 drives the
+// InjectRequests path — the exact code the event-coalescing change rewrites —
+// so byte equality here proves coalesced arrivals reproduce the original
+// per-request-closure schedule, not merely a self-consistent one.
+//
+// Regenerate deliberately with:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/experiments -run TestFig2TableGolden
+func TestFig2TableGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro experiment")
+	}
+	r, err := RunFig2(shapeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []byte(r.Table().String() + r.Table().CSV())
+
+	goldenPath := filepath.Join("testdata", "golden_fig2_table.txt")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if string(want) != string(got) {
+		t.Fatalf("fig2 table diverged from pre-change golden:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+}

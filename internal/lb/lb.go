@@ -97,6 +97,10 @@ type Balancer struct {
 
 	rr     map[string]int
 	probes map[string]probeState
+
+	// rotation is split's reusable scratch for the viable-replica set —
+	// rebuilt on every RouteAt, so routing a request allocates nothing.
+	rotation []*container.Container
 }
 
 // New creates a balancer with the given policy.
@@ -181,7 +185,7 @@ func weightedScore(c *container.Container) float64 {
 // separately so an entirely saturated tier reads as back-pressure
 // (ErrAllFull), not an outage.
 func (b *Balancer) split(now time.Duration, replicas []*container.Container) ([]*container.Container, int, int) {
-	out := make([]*container.Container, 0, len(replicas))
+	out := b.rotation[:0]
 	starting := 0
 	full := 0
 	for _, c := range replicas {
@@ -200,6 +204,7 @@ func (b *Balancer) split(now time.Duration, replicas []*container.Container) ([]
 		}
 		out = append(out, c)
 	}
+	b.rotation = out
 	return out, starting, full
 }
 

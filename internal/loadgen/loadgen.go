@@ -110,6 +110,9 @@ type Generator struct {
 
 	ids *IDAllocator
 	acc float64
+	// buf is Arrivals' reusable result buffer; each tick's slice is valid
+	// until the next Arrivals call on this generator.
+	buf []*workload.Request
 }
 
 // NewGenerator builds a generator drawing IDs from ids.
@@ -120,6 +123,9 @@ func NewGenerator(spec workload.ServiceSpec, p Pattern, ids *IDAllocator) *Gener
 // Arrivals returns the requests arriving in the window [now, now+dt). The
 // arrival instants are spread uniformly across the window for latency
 // accuracy.
+//
+// The returned slice is a reused scratch buffer, valid until the next
+// Arrivals call on this generator — consume (route) it immediately.
 func (g *Generator) Arrivals(now, dt time.Duration, rng *rand.Rand) []*workload.Request {
 	if dt <= 0 {
 		return nil
@@ -138,12 +144,12 @@ func (g *Generator) Arrivals(now, dt time.Duration, rng *rand.Rand) []*workload.
 	if n <= 0 {
 		return nil
 	}
-	reqs := make([]*workload.Request, n)
-	for i := range reqs {
+	g.buf = g.buf[:0]
+	for i := 0; i < n; i++ {
 		at := now + time.Duration(float64(dt)*(float64(i)+0.5)/float64(n))
-		reqs[i] = workload.NewRequest(g.ids.Next(), g.Spec, at)
+		g.buf = append(g.buf, workload.NewRequest(g.ids.Next(), g.Spec, at))
 	}
-	return reqs
+	return g.buf
 }
 
 // poisson draws a Poisson-distributed integer with mean lambda using

@@ -29,7 +29,17 @@ type Recorder struct {
 	// allSorted caches the cross-service sorted latency slice for Summarize;
 	// it is valid while it holds exactly as many samples as have been
 	// recorded (latencies are append-only, so a length match means clean).
+	// Refreshes are incremental: each service tracks how many of its samples
+	// were already merged (allTaken), so a refresh sorts and merges only the
+	// newly-appended suffix instead of re-sorting everything.
 	allSorted []time.Duration
+
+	// svcScratch is Services' reusable result buffer — valid until the next
+	// Services call.
+	svcScratch []*ServiceStats
+
+	// mergeBuf is the shared scratch for incremental sorted merges.
+	mergeBuf []time.Duration
 }
 
 // NewRecorder returns an empty recorder.
@@ -60,18 +70,54 @@ type ServiceStats struct {
 	// like Recorder.allSorted it is clean exactly when the lengths match, so
 	// repeated percentile/summary calls between recordings cost nothing.
 	sorted []time.Duration
+
+	// allTaken counts how many of this service's latencies the Recorder has
+	// already merged into its cross-service allSorted cache.
+	allTaken int
+
+	// mergeBuf is the scratch for this service's incremental sorted merges.
+	mergeBuf []time.Duration
 }
 
-// sortedLatencies returns the service's latencies in ascending order,
-// re-sorting the scratch buffer only when new samples arrived since the last
-// call (the dirty check is the length comparison — latencies are
-// append-only).
+// sortedLatencies returns the service's latencies in ascending order. The
+// scratch copy is maintained incrementally: only samples appended since the
+// last call are sorted, then merged into the existing run — O(new·log new +
+// shifted) instead of a full O(n log n) re-sort per refresh.
 func (s *ServiceStats) sortedLatencies() []time.Duration {
-	if len(s.sorted) != len(s.latencies) {
-		s.sorted = append(s.sorted[:0], s.latencies...)
-		sort.Slice(s.sorted, func(i, j int) bool { return s.sorted[i] < s.sorted[j] })
+	if have := len(s.sorted); have != len(s.latencies) {
+		s.sorted = append(s.sorted, s.latencies[have:]...)
+		s.mergeBuf = mergeSortedSuffix(s.sorted, have, s.mergeBuf)
 	}
 	return s.sorted
+}
+
+// mergeSortedSuffix sorts all[n:] and merges it into the already-sorted
+// all[:n], in place, using (and returning) buf as scratch for the suffix.
+func mergeSortedSuffix(all []time.Duration, n int, buf []time.Duration) []time.Duration {
+	tail := all[n:]
+	if len(tail) == 0 {
+		return buf
+	}
+	sort.Slice(tail, func(i, j int) bool { return tail[i] < tail[j] })
+	if n == 0 || all[n-1] <= tail[0] {
+		// Already in order — the common case when latencies trend upward.
+		return buf
+	}
+	buf = append(buf[:0], tail...)
+	// Backward two-pointer merge: stops as soon as the suffix is placed, so
+	// the cost is proportional to how far new samples reach into the run.
+	i, k := n-1, len(all)-1
+	for j := len(buf) - 1; j >= 0; {
+		if i >= 0 && all[i] > buf[j] {
+			all[k] = all[i]
+			i--
+		} else {
+			all[k] = buf[j]
+			j--
+		}
+		k--
+	}
+	return buf
 }
 
 func (r *Recorder) service(name string) *ServiceStats {
@@ -104,13 +150,27 @@ func (r *Recorder) RecordFailure(service string, class workload.FailureClass) {
 	}
 }
 
-// Services returns the per-service stats in first-seen order.
+// Services returns the per-service stats in first-seen order. The returned
+// slice is a reused scratch buffer, valid until the next Services call; copy
+// it to keep it longer.
 func (r *Recorder) Services() []*ServiceStats {
-	out := make([]*ServiceStats, 0, len(r.order))
+	r.svcScratch = r.svcScratch[:0]
 	for _, name := range r.order {
-		out = append(out, r.services[name])
+		r.svcScratch = append(r.svcScratch, r.services[name])
 	}
-	return out
+	return r.svcScratch
+}
+
+// Reserve pre-sizes the latency storage for a service expected to complete
+// about n requests, so bulk injection does not grow the sample slices
+// repeatedly. It never shrinks and is safe to call at any time.
+func (r *Recorder) Reserve(service string, n int) {
+	s := r.service(service)
+	if extra := n - (cap(s.latencies) - len(s.latencies)); extra > 0 {
+		grown := make([]time.Duration, len(s.latencies), cap(s.latencies)+extra)
+		copy(grown, s.latencies)
+		s.latencies = grown
+	}
 }
 
 // ServiceCounters returns one service's cumulative outcome counters and
@@ -187,11 +247,18 @@ func (r *Recorder) Summarize() Summary {
 	sum.Requests = sum.Completed + sum.RemovalFailures + sum.ConnectionFailures
 	if samples > 0 {
 		if len(r.allSorted) != samples {
-			r.allSorted = r.allSorted[:0]
-			for _, s := range r.services {
-				r.allSorted = append(r.allSorted, s.latencies...)
+			// Gather only the samples recorded since the last refresh (in
+			// deterministic first-seen service order), sort that suffix, and
+			// merge it into the existing sorted run.
+			have := len(r.allSorted)
+			for _, name := range r.order {
+				s := r.services[name]
+				if s.allTaken < len(s.latencies) {
+					r.allSorted = append(r.allSorted, s.latencies[s.allTaken:]...)
+					s.allTaken = len(s.latencies)
+				}
 			}
-			sort.Slice(r.allSorted, func(i, j int) bool { return r.allSorted[i] < r.allSorted[j] })
+			r.mergeBuf = mergeSortedSuffix(r.allSorted, have, r.mergeBuf)
 		}
 		all := r.allSorted
 		sum.MeanLatency = total / time.Duration(len(all))

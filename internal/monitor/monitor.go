@@ -88,6 +88,12 @@ type serviceState struct {
 	// replicaIDs lists live container IDs in creation order.
 	replicaIDs []string
 	nextIdx    int
+
+	// resolved caches replicaIDs resolved to container pointers, valid
+	// while resolvedGen matches Monitor.topoGen. Per-request routing walks
+	// this instead of re-resolving IDs through three map lookups each.
+	resolved    []*container.Container
+	resolvedGen uint64
 }
 
 // pendingAction is one queued action awaiting its deadline: a failed action
@@ -104,10 +110,19 @@ type pendingAction struct {
 	lostID string
 }
 
-// cachedReport is a node manager's last successfully delivered report.
+// cachedReport is a node manager's last successfully delivered report. The
+// Containers slice is owned by this cache entry (copied from the NM's scratch
+// report, which is reused every poll) so it can outlive the poll for the
+// staleness-degradation and checkpoint paths.
 type cachedReport struct {
 	rep nodemanager.Report
 	at  time.Duration
+
+	// hosts is the deduplicated service list derived from rep.Containers,
+	// rebuilt only when the node's container set version moves.
+	hosts    []string
+	hostsVer uint64
+	hostsOK  bool
 }
 
 // Monitor is the central arbiter. Single-goroutine, like the rest of the
@@ -144,7 +159,7 @@ type Monitor struct {
 	Obs *obs.Journal
 
 	retries     []pendingAction
-	lastReports map[string]cachedReport
+	lastReports map[string]*cachedReport
 	// lastObs caches each service's aggregate observed usage from the most
 	// recent snapshot, attached to journaled decisions. Only maintained when
 	// Obs is set.
@@ -157,11 +172,27 @@ type Monitor struct {
 	replicaHome map[string]string
 	lost        []lostReplica
 
+	// topoGen versions the replica topology: every scale action, node
+	// attach/detach, and self-heal transition bumps it, invalidating the
+	// per-service resolved replica caches.
+	topoGen uint64
+
 	lastCheckpoint   *checkpoint
 	lastCheckpointAt time.Duration
 
 	counts   ActionCounts
 	recovery RecoveryCounts
+
+	// Snapshot scratch, reused every poll so the steady-state monitor loop
+	// allocates nothing (see Snapshot). The snapshot handed to the algorithm
+	// aliases these buffers and is valid until the next Snapshot call — every
+	// consumer (Poll → Decide → Apply) runs synchronously inside that window.
+	statsByID    map[string]nodemanager.ContainerStats
+	seenGen      map[string]uint64
+	gen          uint64
+	snapNodes    []core.NodeStats
+	snapServices []core.ServiceStats
+	detachBuf    []string
 }
 
 // New wires a monitor to the cluster, creating one node manager per node,
@@ -174,10 +205,13 @@ func New(cl *cluster.Cluster, algo core.Algorithm) *Monitor {
 		byName:      make(map[string]*serviceState),
 		StartDelay:  time.Second,
 		Hardening:   DefaultHardening(),
-		lastReports: make(map[string]cachedReport),
+		lastReports: make(map[string]*cachedReport),
 		lastObs:     make(map[string]obs.ServiceObserved),
 		nodeStates:  make(map[string]*nodeState),
 		replicaHome: make(map[string]string),
+		statsByID:   make(map[string]nodemanager.ContainerStats),
+		seenGen:     make(map[string]uint64),
+		topoGen:     1, // above the zero resolvedGen, so fresh services resolve
 	}
 	for _, n := range cl.Nodes() {
 		nm := nodemanager.New(n)
@@ -211,6 +245,7 @@ func (m *Monitor) DetachNode(nodeID string) {
 			break
 		}
 	}
+	m.topoGen++ // cached pointers may reference the departed node's containers
 }
 
 // AttachNode registers a node manager for a newly added machine (the
@@ -222,6 +257,7 @@ func (m *Monitor) AttachNode(n *cluster.Node) {
 	nm := nodemanager.New(n)
 	m.nms = append(m.nms, nm)
 	m.nmByID[n.ID()] = nm
+	m.topoGen++ // replicas unfindable while detached may resolve again
 }
 
 // AddService registers a microservice with its scaling target. No replicas
@@ -311,19 +347,60 @@ func (m *Monitor) leastLoadedNode(alloc resources.Vector) string {
 	return best
 }
 
-// Replicas returns the live replicas of a service in creation order.
+// Replicas returns the live replicas of a service in creation order. It
+// allocates a fresh slice the caller may keep; hot paths that route every
+// request should use AppendReplicas with a reusable buffer instead.
 func (m *Monitor) Replicas(service string) []*container.Container {
+	return m.AppendReplicas(nil, service)
+}
+
+// AppendReplicas appends the live replicas of a service, in creation order,
+// to buf and returns the extended slice — the zero-allocation variant of
+// Replicas for per-request routing.
+func (m *Monitor) AppendReplicas(buf []*container.Container, service string) []*container.Container {
 	st, ok := m.byName[service]
 	if !ok {
-		return nil
+		return buf
 	}
-	out := make([]*container.Container, 0, len(st.replicaIDs))
-	for _, id := range st.replicaIDs {
-		if c, _ := m.cluster.FindContainer(id); c != nil && c.State != container.StateRemoved {
-			out = append(out, c)
+	for _, c := range m.resolvedFor(st) {
+		if c.State != container.StateRemoved {
+			buf = append(buf, c)
 		}
 	}
-	return out
+	return buf
+}
+
+// ReplicaCount returns the number of live replicas of a service without
+// materialising the slice.
+func (m *Monitor) ReplicaCount(service string) int {
+	st, ok := m.byName[service]
+	if !ok {
+		return 0
+	}
+	n := 0
+	for _, c := range m.resolvedFor(st) {
+		if c.State != container.StateRemoved {
+			n++
+		}
+	}
+	return n
+}
+
+// resolvedFor returns st's replicas as container pointers, in creation
+// order, rebuilding the cache after any topology change. The State filter
+// stays with the callers: a replica removed by a scale-in flips to
+// StateRemoved without a topology bump, and the pointer check is free.
+func (m *Monitor) resolvedFor(st *serviceState) []*container.Container {
+	if st.resolvedGen != m.topoGen {
+		st.resolved = st.resolved[:0]
+		for _, id := range st.replicaIDs {
+			if c, _ := m.findReplica(id); c != nil {
+				st.resolved = append(st.resolved, c)
+			}
+		}
+		st.resolvedGen = m.topoGen
+	}
+	return st.resolved
 }
 
 // Sample forwards a stats-sampling tick to every node manager.
@@ -377,14 +454,22 @@ func (m *Monitor) drainRetries(now time.Duration) {
 // stats query was dropped is replaced by the node's last-known report when
 // hardening allows (within StalenessBound); otherwise the node is absent
 // from the snapshot this period, exactly as if its manager were offline.
+//
+// The returned snapshot aliases per-Monitor scratch buffers: it is valid
+// until the next Snapshot call, which is exactly the Poll→Decide→Apply
+// window. In steady state (no container churn, no faults) assembling it
+// allocates nothing — maps are cleared and slices resliced, never remade.
 func (m *Monitor) Snapshot(now time.Duration) core.Snapshot {
 	snap := core.Snapshot{Now: now}
 
 	// One report per node; index container stats for replica lookup.
-	statsByID := make(map[string]nodemanager.ContainerStats)
+	clear(m.statsByID)
+	m.snapNodes = m.snapNodes[:0]
+	m.snapServices = m.snapServices[:0]
 	for _, nm := range m.nms {
 		id := nm.NodeID()
-		if m.cluster.Node(id) == nil {
+		node := m.cluster.Node(id)
+		if node == nil {
 			// The machine is gone from the cluster entirely: no cached
 			// report can stand in for a node that hosts nothing. The
 			// detector accrues the miss; once it rules the node dead the
@@ -394,54 +479,82 @@ func (m *Monitor) Snapshot(now time.Duration) core.Snapshot {
 			m.noteMissedPoll(id, now)
 			continue
 		}
-		var rep nodemanager.Report
+		var cached *cachedReport
 		if m.Faults.StatsDropped(now, id) || m.Faults.StatsBlackout(now, id) {
 			nm.NoteMissedQuery()
 			m.noteMissedPoll(id, now)
-			cached, ok := m.lastReports[id]
-			if !m.Hardening.Enabled || !ok || now-cached.at > m.Hardening.StalenessBound {
+			cached = m.lastReports[id]
+			if !m.Hardening.Enabled || cached == nil || now-cached.at > m.Hardening.StalenessBound {
 				// No usable data: the node vanishes from this snapshot.
 				continue
 			}
-			rep = cached.rep
 			m.counts.StaleSnapshots++
 		} else {
-			rep = nm.Report()
-			m.lastReports[id] = cachedReport{rep: rep, at: now}
+			rep := nm.Report()
+			cached = m.lastReports[id]
+			if cached == nil {
+				cached = &cachedReport{}
+				m.lastReports[id] = cached
+			}
+			// Copy into the cache's own buffer: the NM reuses its report
+			// slice next poll, while this cache must survive for the
+			// staleness-degradation and checkpoint paths.
+			cached.rep.NodeID = rep.NodeID
+			cached.rep.Capacity = rep.Capacity
+			cached.rep.Available = rep.Available
+			cached.rep.Containers = append(cached.rep.Containers[:0], rep.Containers...)
+			cached.at = now
 			m.notePollOK(id, now)
 		}
-		ns := core.NodeStats{ID: rep.NodeID, Capacity: rep.Capacity, Available: rep.Available}
-		seen := make(map[string]bool)
-		for _, cs := range rep.Containers {
-			statsByID[cs.ID] = cs
-			if !seen[cs.Service] {
-				ns.Hosts = append(ns.Hosts, cs.Service)
-				seen[cs.Service] = true
-			}
+		for _, cs := range cached.rep.Containers {
+			m.statsByID[cs.ID] = cs
 		}
-		snap.Nodes = append(snap.Nodes, ns)
+		// The deduplicated hosts list only changes when containers are placed
+		// or removed; key it on the node's version so unchanged nodes skip
+		// the rebuild entirely.
+		if v := node.Version(); !cached.hostsOK || cached.hostsVer != v {
+			cached.hosts = cached.hosts[:0]
+			m.gen++
+			for _, cs := range cached.rep.Containers {
+				if m.seenGen[cs.Service] != m.gen {
+					m.seenGen[cs.Service] = m.gen
+					cached.hosts = append(cached.hosts, cs.Service)
+				}
+			}
+			cached.hostsVer = v
+			cached.hostsOK = true
+		}
+		ns := growNodeStats(&m.snapNodes)
+		ns.ID = cached.rep.NodeID
+		ns.Capacity = cached.rep.Capacity
+		ns.Available = cached.rep.Available
+		ns.Hosts = append(ns.Hosts[:0], cached.hosts...)
 	}
+	snap.Nodes = m.snapNodes
 
 	// A node both ruled dead and gone from the cluster can never answer
 	// under this identity again; stop tracking it. Done outside the node
 	// loop so the slice is not mutated mid-iteration.
 	if m.SelfHeal.Enabled {
-		var detach []string
+		detach := m.detachBuf[:0]
 		for _, nm := range m.nms {
 			if id := nm.NodeID(); m.nodeDead(id) && m.cluster.Node(id) == nil {
 				detach = append(detach, id)
 			}
 		}
+		m.detachBuf = detach
 		for _, id := range detach {
 			m.DetachNode(id)
 		}
 	}
 
 	for _, st := range m.services {
-		ss := core.ServiceStats{Info: st.info}
+		ss := growServiceStats(&m.snapServices)
+		ss.Info = st.info
+		ss.Replicas = ss.Replicas[:0]
 		live := st.replicaIDs[:0]
 		for _, id := range st.replicaIDs {
-			c, node := m.cluster.FindContainer(id)
+			c, node := m.findReplica(id)
 			if c == nil || c.State == container.StateRemoved {
 				// A replica that vanished with an unreachable-but-undecided
 				// node stays in the snapshot on last-known data, so the
@@ -456,7 +569,7 @@ func (m *Monitor) Snapshot(now time.Duration) core.Snapshot {
 				continue
 			}
 			live = append(live, id)
-			cs, ok := statsByID[id]
+			cs, ok := m.statsByID[id]
 			if !ok {
 				cs = nodemanager.ContainerStats{ID: id, Service: st.spec.Name, Requested: c.Alloc, Routable: c.Routable()}
 			}
@@ -467,6 +580,9 @@ func (m *Monitor) Snapshot(now time.Duration) core.Snapshot {
 				Usage:       cs.Usage,
 				Routable:    cs.Routable,
 			})
+		}
+		if len(live) != len(st.replicaIDs) {
+			m.topoGen++ // pruned vanished replicas from the desired set
 		}
 		st.replicaIDs = live
 		if m.Obs != nil {
@@ -479,9 +595,48 @@ func (m *Monitor) Snapshot(now time.Duration) core.Snapshot {
 			}
 			m.lastObs[st.spec.Name] = ob
 		}
-		snap.Services = append(snap.Services, ss)
 	}
+	snap.Services = m.snapServices
 	return snap
+}
+
+// growNodeStats extends s by one entry, recycling the backing array (and the
+// recycled entry's Hosts buffer) when capacity allows — the trick that keeps
+// nested snapshot slices allocation-free across polls.
+func growNodeStats(s *[]core.NodeStats) *core.NodeStats {
+	if cap(*s) > len(*s) {
+		*s = (*s)[:len(*s)+1]
+	} else {
+		*s = append(*s, core.NodeStats{})
+	}
+	return &(*s)[len(*s)-1]
+}
+
+// growServiceStats is growNodeStats for the services slice, preserving each
+// recycled entry's Replicas buffer.
+func growServiceStats(s *[]core.ServiceStats) *core.ServiceStats {
+	if cap(*s) > len(*s) {
+		*s = (*s)[:len(*s)+1]
+	} else {
+		*s = append(*s, core.ServiceStats{})
+	}
+	return &(*s)[len(*s)-1]
+}
+
+// findReplica resolves a live replica ID to its container and host node in
+// O(1) via the replicaHome index, falling back to the cluster-wide scan only
+// when the index is stale (e.g. a checkpoint restored across topology
+// changes). The fallback keeps behaviour identical to the original
+// FindContainer-based lookup.
+func (m *Monitor) findReplica(id string) (*container.Container, *cluster.Node) {
+	if home, ok := m.replicaHome[id]; ok {
+		if n := m.cluster.Node(home); n != nil {
+			if c := n.Container(id); c != nil {
+				return c, n
+			}
+		}
+	}
+	return m.cluster.FindContainer(id)
 }
 
 // serviceOfContainer maps a container ID back to its service, falling back
@@ -699,6 +854,7 @@ func (m *Monitor) startReplicaWithReady(st *serviceState, nodeID string, alloc r
 	}
 	st.replicaIDs = append(st.replicaIDs, id)
 	m.replicaHome[id] = nodeID
+	m.topoGen++
 	m.counts.ScaleOuts++
 	return nil
 }

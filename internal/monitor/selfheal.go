@@ -24,6 +24,7 @@ import (
 
 	"hyscale/internal/container"
 	"hyscale/internal/core"
+	"hyscale/internal/nodemanager"
 	"hyscale/internal/obs"
 	"hyscale/internal/resources"
 )
@@ -274,7 +275,7 @@ func (m *Monitor) lastKnownReplica(id, home string, st *serviceState) core.Repli
 		Requested:   st.info.InitialAlloc,
 		Routable:    true,
 	}
-	if cached, ok := m.lastReports[home]; ok {
+	if cached := m.lastReports[home]; cached != nil {
 		for _, cs := range cached.rep.Containers {
 			if cs.ID == id {
 				rs.Requested = cs.Requested
@@ -307,7 +308,7 @@ func (m *Monitor) declareDead(nodeID string, now time.Duration) {
 			alloc := st.info.InitialAlloc
 			if c, _ := m.cluster.FindContainer(id); c != nil {
 				alloc = c.Alloc
-			} else if cached, ok := m.lastReports[nodeID]; ok {
+			} else if cached := m.lastReports[nodeID]; cached != nil {
 				for _, cs := range cached.rep.Containers {
 					if cs.ID == id {
 						alloc = cs.Requested
@@ -335,6 +336,7 @@ func (m *Monitor) declareDead(nodeID string, now time.Duration) {
 		}
 		st.replicaIDs = kept
 	}
+	m.topoGen++ // dead node's replicas left every desired set
 }
 
 // reconcileRecovery handles a dead node answering again (a partition that
@@ -384,6 +386,7 @@ func (m *Monitor) reconcileRecovery(nodeID string, now time.Duration) {
 		}
 	}
 	m.lost = remaining
+	m.topoGen++ // re-adoptions and stale drains changed the replica sets
 }
 
 // finishLost marks a lost replica's replacement as done. When the dead node
@@ -420,6 +423,8 @@ type checkpoint struct {
 }
 
 // CheckpointNow snapshots the Monitor's decision state unconditionally.
+// Node reports are deep-copied: the live cache entries reuse their Containers
+// buffers every poll, and a checkpoint must not see those later overwrites.
 func (m *Monitor) CheckpointNow(now time.Duration) {
 	cp := &checkpoint{
 		at:          now,
@@ -431,7 +436,9 @@ func (m *Monitor) CheckpointNow(now time.Duration) {
 		replicaHome: make(map[string]string, len(m.replicaHome)),
 	}
 	for k, v := range m.lastReports {
-		cp.lastReports[k] = v
+		frozen := cachedReport{rep: v.rep, at: v.at}
+		frozen.rep.Containers = append([]nodemanager.ContainerStats(nil), v.rep.Containers...)
+		cp.lastReports[k] = frozen
 	}
 	for k, v := range m.nodeStates {
 		cp.nodeStates[k] = *v
@@ -474,9 +481,14 @@ func (m *Monitor) Restart(now time.Duration) {
 
 func (m *Monitor) restore(cp *checkpoint, now time.Duration) {
 	m.retries = append([]pendingAction(nil), cp.retries...)
-	m.lastReports = make(map[string]cachedReport, len(cp.lastReports))
+	m.lastReports = make(map[string]*cachedReport, len(cp.lastReports))
 	for k, v := range cp.lastReports {
-		m.lastReports[k] = v
+		restored := &cachedReport{rep: v.rep, at: v.at}
+		// Copy out of the checkpoint so post-restore polls appending into the
+		// live cache never mutate the frozen state; the hosts cache rebuilds
+		// lazily (hostsOK is false).
+		restored.rep.Containers = append([]nodemanager.ContainerStats(nil), v.rep.Containers...)
+		m.lastReports[k] = restored
 	}
 	m.nodeStates = make(map[string]*nodeState, len(cp.nodeStates))
 	for k, v := range cp.nodeStates {
@@ -491,6 +503,7 @@ func (m *Monitor) restore(cp *checkpoint, now time.Duration) {
 	for k, v := range cp.replicaHome {
 		m.replicaHome[k] = v
 	}
+	m.topoGen++ // restored replica sets may differ from the cached view
 	m.recovery.CheckpointRestores++
 	m.event(now, obs.EventCheckpointRestore, "", "", "", fmt.Sprintf("checkpoint from %v", cp.at))
 }
@@ -501,7 +514,7 @@ func (m *Monitor) restore(cp *checkpoint, now time.Duration) {
 // placements that had not run yet simply never happen.
 func (m *Monitor) coldRestart(now time.Duration) {
 	m.retries = nil
-	m.lastReports = make(map[string]cachedReport)
+	m.lastReports = make(map[string]*cachedReport)
 	m.nodeStates = make(map[string]*nodeState)
 	m.lost = nil
 	m.replicaHome = make(map[string]string)
@@ -514,6 +527,7 @@ func (m *Monitor) coldRestart(now time.Duration) {
 		sortReplicaIDs(ids)
 		st.replicaIDs = ids
 	}
+	m.topoGen++ // rediscovered replica sets invalidate every cache
 	m.recovery.ColdRestarts++
 	m.event(now, obs.EventColdRestart, "", "", "", "")
 }

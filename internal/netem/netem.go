@@ -53,7 +53,38 @@ type Flow struct {
 // per input flow (zero for inactive flows). Allocate never hands out more
 // than the derated capacity.
 func (m Model) Allocate(flows []Flow) []Share {
-	shares := make([]Share, len(flows))
+	var a Allocator
+	return append([]Share(nil), a.Allocate(m, flows)...)
+}
+
+// state is one transmitting container's water-filling record.
+type state struct {
+	idx    int
+	weight float64
+	cap    float64 // +Inf when unshaped
+	frozen bool
+	rate   float64
+}
+
+// Allocator runs Model.Allocate's algorithm against reusable scratch
+// buffers, so per-tick bandwidth allocation is free of steady-state
+// allocations. One Allocator belongs to one node (it is not safe for
+// concurrent use); the returned shares are valid until its next Allocate.
+type Allocator struct {
+	shares []Share
+	states []state
+}
+
+// Allocate distributes bandwidth exactly like Model.Allocate, reusing the
+// allocator's scratch. The result aliases internal storage — copy it to keep
+// it past the next call.
+func (a *Allocator) Allocate(m Model, flows []Flow) []Share {
+	if cap(a.shares) < len(flows) {
+		a.shares = make([]Share, len(flows))
+	}
+	shares := a.shares[:len(flows)]
+	clear(shares)
+	a.shares = shares
 	active := 0
 	total := 0
 	for _, f := range flows {
@@ -71,14 +102,7 @@ func (m Model) Allocate(flows []Flow) []Share {
 	// Weighted max-min fair water-filling: distribute capacity
 	// proportionally to flow counts; freeze containers whose tc cap binds
 	// and redistribute the leftovers among the rest.
-	type state struct {
-		idx    int
-		weight float64
-		cap    float64 // +Inf when unshaped
-		frozen bool
-		rate   float64
-	}
-	states := make([]state, 0, active)
+	states := a.states[:0]
 	for i, f := range flows {
 		if f.Count <= 0 {
 			continue
@@ -89,6 +113,7 @@ func (m Model) Allocate(flows []Flow) []Share {
 		}
 		states = append(states, state{idx: i, weight: float64(f.Count), cap: c})
 	}
+	a.states = states
 
 	remaining := capacity
 	unfrozen := len(states)

@@ -45,6 +45,12 @@ type Manager struct {
 	sums   map[string]resources.Vector
 	counts map[string]int
 
+	// containers is the reusable backing array for Report's stats slice —
+	// cleared, not reallocated, each report, so steady-state polls allocate
+	// nothing. Returned Reports alias it and are valid until the next Report
+	// call; callers that cache must copy (see monitor.cachedReport).
+	containers []ContainerStats
+
 	missedQueries uint64
 }
 
@@ -76,18 +82,23 @@ func (m *Manager) Sample() {
 // Report aggregates the samples since the previous report and resets the
 // window. Containers that produced no samples yet (e.g. still starting)
 // report zero usage.
+//
+// The returned Report's Containers slice is reused across calls: it is valid
+// until the next Report on this manager, and callers that keep it longer must
+// copy it.
 func (m *Manager) Report() Report {
 	rep := Report{
 		NodeID:    m.node.ID(),
 		Capacity:  m.node.Capacity(),
 		Available: m.node.Available(),
 	}
+	m.containers = m.containers[:0]
 	for _, c := range m.node.Containers() {
 		var usage resources.Vector
 		if n := m.counts[c.ID]; n > 0 {
 			usage = m.sums[c.ID].Scale(1 / float64(n))
 		}
-		rep.Containers = append(rep.Containers, ContainerStats{
+		m.containers = append(m.containers, ContainerStats{
 			ID:        c.ID,
 			Service:   c.Service,
 			Requested: c.Alloc,
@@ -95,8 +106,9 @@ func (m *Manager) Report() Report {
 			Routable:  c.Routable(),
 		})
 	}
-	m.sums = make(map[string]resources.Vector)
-	m.counts = make(map[string]int)
+	rep.Containers = m.containers
+	clear(m.sums)
+	clear(m.counts)
 	return rep
 }
 

@@ -1,0 +1,304 @@
+// Package perf runs the pinned performance suite behind `hyscale-bench
+// -perf` and renders its results as a BENCH_<n>.json report. The suite is
+// deliberately small and fixed — engine schedule/run micro-benchmarks,
+// monitor poll cycles at the paper's 24-node scale and the roadmap's
+// 200/1000-node scales, the Fig. 7 macro run, and the node×service scale
+// sweep — so the same numbers are comparable across PRs and the repo
+// accumulates a perf trajectory instead of anecdotes.
+//
+// Each report embeds the unoptimized baseline recorded before the first
+// optimization pass, so the speedup claims are verifiable from the file
+// alone: compare scaleSweep's simRatio against baselineUnoptimized's at the
+// same grid point.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"hyscale/internal/cluster"
+	"hyscale/internal/core"
+	"hyscale/internal/experiments"
+	"hyscale/internal/monitor"
+	"hyscale/internal/sim"
+	"hyscale/internal/workload"
+)
+
+// BenchResult is one micro-benchmark measurement.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	OpsPerSec   float64 `json:"opsPerSec"`
+}
+
+// MacroPerf summarises a macro experiment's throughput: how much simulated
+// time it executed per wall-clock second.
+type MacroPerf struct {
+	Scale       float64 `json:"scale"`
+	Runs        int     `json:"runs"`
+	SimSeconds  float64 `json:"simSeconds"`
+	WallSeconds float64 `json:"wallSeconds"`
+	SimRatio    float64 `json:"simRatio"`
+}
+
+// Baseline is a pre-change reference measurement embedded in every report so
+// speedups are checkable without digging through git history.
+type Baseline struct {
+	// Commit is the tree the baseline was measured on.
+	Commit string `json:"commit"`
+	// ScaleSweep is the unoptimized sweep at Scale=1 (120 simulated
+	// seconds per point).
+	ScaleSweep []experiments.ScalePoint `json:"scaleSweep"`
+	// Fig7 is the unoptimized Fig. 7 macro run (both load shapes).
+	Fig7 MacroPerf `json:"fig7"`
+}
+
+// Report is the BENCH_<n>.json schema.
+type Report struct {
+	Suite     string  `json:"suite"`
+	PR        int     `json:"pr"`
+	GoVersion string  `json:"goVersion"`
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	Seed      int64   `json:"seed"`
+	Scale     float64 `json:"scale"`
+
+	Benchmarks []BenchResult            `json:"benchmarks"`
+	ScaleSweep []experiments.ScalePoint `json:"scaleSweep"`
+	Fig7       MacroPerf                `json:"fig7"`
+
+	Baseline Baseline `json:"baselineUnoptimized"`
+}
+
+// JSON renders the report with stable indentation for committing.
+func (r *Report) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Options configures a suite run.
+type Options struct {
+	// Seed drives all simulation randomness.
+	Seed int64
+	// Scale multiplies the macro and sweep durations (1.0 = pinned full
+	// size; CI smoke uses a fraction). Micro-benchmarks ignore it.
+	Scale float64
+	// PR numbers the report (BENCH_<PR>.json).
+	PR int
+}
+
+// BaselineUnoptimized is the measurement taken on the tree immediately
+// before the hot-path optimization pass (commit 34ad6dc), on the same pinned
+// suite: `-exp scale -seed 1` at Scale=1 and `-exp fig7 -scale 0.2 -seed 1
+// -parallel 1`. The 1000-node/500-service simRatio of 30.5 is the number
+// later reports are graded against.
+func BaselineUnoptimized() Baseline {
+	return Baseline{
+		Commit: "34ad6dc",
+		ScaleSweep: []experiments.ScalePoint{
+			{Nodes: 24, Services: 15, SimSeconds: 120, WallSeconds: 0.035, SimRatio: 3470.8, Requests: 21367, ScaleOuts: 15},
+			{Nodes: 96, Services: 60, SimSeconds: 120, WallSeconds: 0.138, SimRatio: 866.8, Requests: 85665, ScaleOuts: 60},
+			{Nodes: 200, Services: 100, SimSeconds: 120, WallSeconds: 0.249, SimRatio: 482.4, Requests: 141704, ScaleOuts: 102},
+			{Nodes: 1000, Services: 500, SimSeconds: 120, WallSeconds: 3.93, SimRatio: 30.5, Requests: 714476, ScaleOuts: 514},
+		},
+		Fig7: MacroPerf{Scale: 0.2, Runs: 6, SimSeconds: 4320, WallSeconds: 1.729, SimRatio: 2498.6},
+	}
+}
+
+// Run executes the pinned suite and assembles the report.
+func Run(opts Options) (*Report, error) {
+	if opts.Scale <= 0 {
+		opts.Scale = 1
+	}
+	rep := &Report{
+		Suite:     "hyscale-perf/v1",
+		PR:        opts.PR,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Seed:      opts.Seed,
+		Scale:     opts.Scale,
+		Baseline:  BaselineUnoptimized(),
+	}
+
+	rep.Benchmarks = append(rep.Benchmarks,
+		benchEngineScheduleRun(),
+		benchEngineScheduleBatch(),
+		benchMonitorPoll(24, 15),
+		benchMonitorPoll(200, 100),
+		benchMonitorPoll(1000, 500),
+	)
+
+	fig7, err := runFig7(opts)
+	if err != nil {
+		return nil, err
+	}
+	rep.Fig7 = fig7
+
+	sweep, err := experiments.RunScale(experiments.Options{Seed: opts.Seed, Scale: opts.Scale, Parallel: 1})
+	if err != nil {
+		return nil, err
+	}
+	experiments.TakeTimings() // drain so a following experiment's footer stays clean
+	rep.ScaleSweep = sweep.Points
+	return rep, nil
+}
+
+// Summary renders the headline lines printed after a -perf run.
+func (r *Report) Summary() string {
+	out := fmt.Sprintf("perf suite %s (seed %d, scale %g)\n", r.Suite, r.Seed, r.Scale)
+	for _, b := range r.Benchmarks {
+		out += fmt.Sprintf("  %-24s %12.1f ns/op  %4d allocs/op  %10.0f ops/sec\n",
+			b.Name, b.NsPerOp, b.AllocsPerOp, b.OpsPerSec)
+	}
+	out += fmt.Sprintf("  %-24s %9.1f sim-s/wall-s (%d runs, %.2fs wall)\n",
+		"fig7", r.Fig7.SimRatio, r.Fig7.Runs, r.Fig7.WallSeconds)
+	for _, p := range r.ScaleSweep {
+		speedup := ""
+		if base := baselinePoint(r.Baseline.ScaleSweep, p.Nodes, p.Services); base != nil && base.SimRatio > 0 {
+			speedup = fmt.Sprintf("  (%.2fx vs baseline %.1f)", p.SimRatio/base.SimRatio, base.SimRatio)
+		}
+		out += fmt.Sprintf("  %-24s %9.1f sim-s/wall-s%s\n",
+			fmt.Sprintf("scale/%dn-%ds", p.Nodes, p.Services), p.SimRatio, speedup)
+	}
+	return out
+}
+
+func baselinePoint(points []experiments.ScalePoint, nodes, services int) *experiments.ScalePoint {
+	for i := range points {
+		if points[i].Nodes == nodes && points[i].Services == services {
+			return &points[i]
+		}
+	}
+	return nil
+}
+
+// result converts a testing.BenchmarkResult into the report row.
+func result(name string, r testing.BenchmarkResult) BenchResult {
+	ns := float64(r.T.Nanoseconds()) / float64(max(r.N, 1))
+	br := BenchResult{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     ns,
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if ns > 0 {
+		br.OpsPerSec = 1e9 / ns
+	}
+	return br
+}
+
+// benchEngineScheduleRun measures one Schedule call plus its execution
+// through Run — the per-event cost of the individually-scheduled path.
+func benchEngineScheduleRun() BenchResult {
+	fired := 0
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		e := sim.New(1)
+		ev := func(*sim.Engine) { fired++ }
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = e.Schedule(time.Duration(i)*time.Microsecond, ev)
+		}
+		_ = e.Run(time.Duration(b.N) * time.Microsecond)
+	})
+	return result("engine/schedule-run", r)
+}
+
+// benchEngineScheduleBatch measures the per-item cost of the coalesced
+// path: one heap entry and one shared closure, however large the batch.
+func benchEngineScheduleBatch() BenchResult {
+	fired := 0
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		e := sim.New(1)
+		b.ResetTimer()
+		_ = e.ScheduleBatch(time.Microsecond, 0, b.N, func(*sim.Engine, int) { fired++ })
+		_ = e.Run(time.Microsecond)
+	})
+	return result("engine/schedule-batch", r)
+}
+
+// pollAlgo is the no-op scaling algorithm the poll benchmarks run against,
+// so the measurement isolates monitor overhead from scaling decisions.
+type pollAlgo struct{}
+
+func (pollAlgo) Name() string                   { return "static" }
+func (pollAlgo) Decide(core.Snapshot) core.Plan { return core.Plan{} }
+
+func pollSpec(name string) workload.ServiceSpec {
+	return workload.ServiceSpec{
+		Name: name, Kind: workload.KindCPUBound,
+		CPUPerRequest: 0.1, MemPerRequest: 10, BaselineMemMB: 100,
+		InitialReplicaCPU: 1, InitialReplicaMemMB: 512,
+		MinReplicas: 2, MaxReplicas: 6, Timeout: 30 * time.Second,
+	}
+}
+
+// benchMonitorPoll measures one steady-state Sample+Poll cycle over a
+// cluster of the given size. AllocsPerOp here is the acceptance number: the
+// optimized monitor must report 0.
+func benchMonitorPoll(nodes, services int) BenchResult {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		cl, err := cluster.NewHomogeneous(nodes, cluster.DefaultNodeConfig(""))
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := monitor.New(cl, pollAlgo{})
+		for i := 0; i < services; i++ {
+			sp := pollSpec(fmt.Sprintf("svc-%03d", i))
+			if err := m.AddService(sp, 0.5); err != nil {
+				b.Fatal(err)
+			}
+			if err := m.DeployInitial(sp.Name, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		now := time.Duration(0)
+		cycle := func() {
+			now += time.Second
+			m.Sample()
+			m.Poll(now)
+		}
+		for i := 0; i < 3; i++ {
+			cycle() // warm the report caches and scratch buffers
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cycle()
+		}
+	})
+	return result(fmt.Sprintf("monitor/poll-%dn", nodes), r)
+}
+
+// runFig7 executes the Fig. 7 macro experiment (both load shapes,
+// sequentially) and reports simulated-vs-wall throughput.
+func runFig7(opts Options) (MacroPerf, error) {
+	eo := experiments.Options{Seed: opts.Seed, Scale: opts.Scale * 0.2, Parallel: 1}
+	experiments.TakeTimings() // reset
+	start := time.Now()
+	for _, shape := range []experiments.LoadShape{experiments.LowBurst, experiments.HighBurst} {
+		if _, err := experiments.RunFig7(shape, eo); err != nil {
+			return MacroPerf{}, err
+		}
+	}
+	wall := time.Since(start).Seconds()
+	runs := len(experiments.TakeTimings())
+	sim := float64(runs) * 3600 * eo.Scale
+	mp := MacroPerf{Scale: eo.Scale, Runs: runs, SimSeconds: sim, WallSeconds: wall}
+	if wall > 0 {
+		mp.SimRatio = sim / wall
+	}
+	return mp, nil
+}

@@ -1,0 +1,77 @@
+package platform
+
+// Property test for event coalescing: InjectRequests batches same-instant
+// arrivals into single ScheduleBatch heap entries, and no matter how the
+// bursts coalesce — one giant same-nanosecond batch, partially grouped, or
+// fully spread — every root request must still be accounted exactly once
+// (roots = completed + shed + deadline + failed) and every call-graph edge
+// must conserve its traffic.
+
+import (
+	"testing"
+	"time"
+
+	"hyscale/internal/faults"
+	"hyscale/internal/resilience"
+)
+
+func TestBatchedInjectionConservation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	res := resilience.Config{
+		Retry:     &resilience.RetryConfig{MaxAttempts: 3, Backoff: 100 * time.Millisecond, Budget: 0.2},
+		Deadlines: &resilience.DeadlineConfig{Margin: 50 * time.Millisecond},
+		Shedding:  &resilience.ShedConfig{UtilThreshold: 0.2, MaxShed: 0.95},
+	}
+	bursts := []struct {
+		at     time.Duration
+		window time.Duration
+		n      int
+	}{
+		// window=1ns: every arrival truncates to the same instant — the
+		// whole burst coalesces into ONE batch entry. 700 requests hitting
+		// two 64-deep queues at once guarantees sheds, so the non-completed
+		// outcome classes are exercised, not just the happy path.
+		{2 * time.Second, 1, 400},
+		{30 * time.Second, 1, 700},
+		// Partial coalescing: a 1ms window over 250 requests yields runs of
+		// same-nanosecond arrivals interleaved with distinct ones.
+		{45 * time.Second, time.Millisecond, 250},
+		// Fully spread: every arrival distinct, batches of size 1.
+		{10 * time.Second, 5 * time.Second, 300},
+	}
+	for _, seed := range []int64{1, 5} {
+		graph, services := fanoutGraph()
+		// rps=0: injection is the only load source, so the totals are exact.
+		w := cascadeWorld(t, seed, graph, res, faults.Config{}, services, 0)
+		total := uint64(0)
+		for _, b := range bursts {
+			if err := w.InjectRequests(b.at, b.window, "gateway", b.n); err != nil {
+				t.Fatal(err)
+			}
+			total += uint64(b.n)
+		}
+		if err := w.RunUntilDrained(time.Minute, 2*time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		s := w.CascadeStats()
+		if s.RootGenerated != total {
+			t.Errorf("seed %d: RootGenerated = %d, want %d injected", seed, s.RootGenerated, total)
+		}
+		if got := s.RootCompleted + s.RootShed + s.RootDeadline + s.RootFailed; got != s.RootGenerated {
+			t.Errorf("seed %d: root conservation violated under coalescing: generated %d != completed %d + shed %d + deadline %d + failed %d",
+				seed, s.RootGenerated, s.RootCompleted, s.RootShed, s.RootDeadline, s.RootFailed)
+		}
+		if s.RootCompleted == 0 {
+			t.Errorf("seed %d: no root request completed — workload misconfigured", seed)
+		}
+		for _, key := range s.EdgeKeys() {
+			es := s.Edges[key]
+			if es.Issued != es.Delivered+es.Dropped {
+				t.Errorf("seed %d: edge %s conservation violated: issued %d != delivered %d + dropped %d",
+					seed, key, es.Issued, es.Delivered, es.Dropped)
+			}
+		}
+	}
+}

@@ -176,8 +176,8 @@ func (g *graphRun) admit(n *reqNode) {
 	req.ExtraLatency += w.cfg.BaseLatency
 	now := w.engine.Now()
 
-	replicas := w.monitor.Replicas(req.Service)
-	target, err := w.lb.RouteAt(now, req, replicas)
+	w.replicaBuf = w.monitor.AppendReplicas(w.replicaBuf[:0], req.Service)
+	target, err := w.lb.RouteAt(now, req, w.replicaBuf)
 	if err != nil {
 		g.dropEdge(n)
 		switch {

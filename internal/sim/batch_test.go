@@ -1,0 +1,137 @@
+package sim
+
+// ScheduleBatch tests: a batch must be indistinguishable from scheduling its
+// items back-to-back with Schedule — same relative order against every other
+// event, same past-clamp behaviour — while a Stop inside a batch must leave
+// the unfired remainder queued at the same instant for the next Run.
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestScheduleBatchMatchesIndividualScheduling(t *testing.T) {
+	// Interleave single events and a batch at one instant, plus neighbours
+	// before and after. The firing order must equal the scheduling order at
+	// the shared instant (FIFO), with the batch occupying its slot as a
+	// contiguous run in index order.
+	run := func(batched bool) []string {
+		e := New(1)
+		var got []string
+		log := func(s string) Event { return func(*Engine) { got = append(got, s) } }
+		_ = e.Schedule(2*time.Second, log("late"))
+		_ = e.Schedule(time.Second, log("a"))
+		if batched {
+			_ = e.ScheduleBatch(time.Second, 10, 3, func(_ *Engine, idx int) {
+				got = append(got, []string{"b0", "b1", "b2"}[idx-10])
+			})
+		} else {
+			for _, s := range []string{"b0", "b1", "b2"} {
+				_ = e.Schedule(time.Second, log(s))
+			}
+		}
+		_ = e.Schedule(time.Second, log("z"))
+		_ = e.Schedule(500*time.Millisecond, log("early"))
+		if err := e.Run(3 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+
+	individual := run(false)
+	batch := run(true)
+	if len(batch) != len(individual) {
+		t.Fatalf("batched run fired %d events, individual %d", len(batch), len(individual))
+	}
+	for i := range individual {
+		if batch[i] != individual[i] {
+			t.Fatalf("order diverges at %d: batched %v, individual %v", i, batch, individual)
+		}
+	}
+}
+
+func TestScheduleBatchClampsPast(t *testing.T) {
+	e := New(1)
+	_ = e.Schedule(time.Second, func(*Engine) {})
+	if err := e.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	err := e.ScheduleBatch(500*time.Millisecond, 0, 2, func(e *Engine, _ int) {
+		fired++
+		if e.Now() != time.Second {
+			t.Errorf("clamped batch fired at %v, want now=%v", e.Now(), time.Second)
+		}
+	})
+	if err == nil {
+		t.Error("scheduling a batch in the past did not report an error")
+	}
+	if e.Clamped() != 1 {
+		t.Errorf("Clamped = %d, want 1", e.Clamped())
+	}
+	if err := e.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 2 {
+		t.Errorf("clamped batch fired %d items, want 2", fired)
+	}
+}
+
+func TestScheduleBatchEmptyIsNoop(t *testing.T) {
+	e := New(1)
+	if err := e.ScheduleBatch(time.Second, 0, 0, func(*Engine, int) { t.Error("empty batch fired") }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ScheduleBatch(time.Second, 0, -3, func(*Engine, int) { t.Error("negative batch fired") }); err != nil {
+		t.Fatal(err)
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending = %d after empty batches, want 0", e.Pending())
+	}
+}
+
+func TestScheduleBatchStopResumesRemainder(t *testing.T) {
+	e := New(1)
+	var fired []int
+	_ = e.ScheduleBatch(time.Second, 0, 5, func(e *Engine, idx int) {
+		fired = append(fired, idx)
+		if idx == 2 {
+			e.Stop()
+		}
+	})
+	// A same-instant event scheduled AFTER the batch must still fire after
+	// the batch's remainder on resume: the requeued tail keeps the batch's
+	// original sequence number.
+	afterBatch := false
+	_ = e.Schedule(time.Second, func(*Engine) { afterBatch = true })
+
+	if err := e.Run(2 * time.Second); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Run = %v, want ErrStopped", err)
+	}
+	if len(fired) != 3 || fired[2] != 2 {
+		t.Fatalf("fired %v before stop, want [0 1 2]", fired)
+	}
+	if afterBatch {
+		t.Fatal("later same-instant event fired before the batch remainder")
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d after stop, want 2 (remainder + follower)", e.Pending())
+	}
+
+	if err := e.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 3, 4}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v after resume, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v after resume, want %v", fired, want)
+		}
+	}
+	if !afterBatch {
+		t.Error("follower event never fired after the batch resumed")
+	}
+}
