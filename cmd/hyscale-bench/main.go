@@ -50,7 +50,7 @@ func realMain() int {
 		report     = flag.String("report", "", "journal every run and write decision logs, time-series CSVs and a rendered report into this directory")
 		timing     = flag.Bool("timing", true, "print per-run wall-clock timings after each experiment")
 		perfMode   = flag.Bool("perf", false, "run the pinned performance suite and write a BENCH_<n>.json report instead of an experiment")
-		perfOut    = flag.String("perf-out", "BENCH_7.json", "output path for the -perf report")
+		perfOut    = flag.String("perf-out", "BENCH_8.json", "output path for the -perf report")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
@@ -194,7 +194,7 @@ func realMain() int {
 
 // runPerf executes the pinned performance suite and writes the JSON report.
 func runPerf(seed int64, scale float64, outPath string) int {
-	rep, err := perf.Run(perf.Options{Seed: seed, Scale: scale, PR: 7})
+	rep, err := perf.Run(perf.Options{Seed: seed, Scale: scale, PR: 8})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hyscale-bench: perf: %v\n", err)
 		return 1

@@ -32,6 +32,7 @@ func main() {
 		nodes    = flag.Int("nodes", 19, "worker nodes")
 		rps      = flag.Float64("rps", 12, "base request rate per service")
 		speed    = flag.Float64("speed", 1.0, "simulated seconds advanced per wall second")
+		zones    = flag.Int("zones", 1, "control-plane zones: >1 shards the monitor and serves per-zone data at /v1/zones")
 		observe  = flag.Bool("observe", false, "record the decision-trace journal and serve it at /v1/timeline")
 	)
 	flag.Parse()
@@ -39,6 +40,7 @@ func main() {
 	sim, err := hyscale.NewSimulation(hyscale.SimConfig{
 		Seed:      time.Now().UnixNano() % (1 << 31),
 		Nodes:     *nodes,
+		Zones:     *zones,
 		Algorithm: hyscale.AlgorithmName(*algo),
 		Observe:   *observe,
 	})

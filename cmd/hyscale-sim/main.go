@@ -34,6 +34,7 @@ func main() {
 		load     = flag.String("load", "wave", "load pattern: constant|wave|burst")
 		duration = flag.Duration("duration", 15*time.Minute, "simulated duration")
 		seed     = flag.Int64("seed", 1, "random seed")
+		zones    = flag.Int("zones", 1, "control-plane zones: >1 shards the monitor into per-zone arbiters under a global allocator")
 		parallel = flag.Int("parallel", 0, "max runs in flight when comparing algorithms (<=0 uses GOMAXPROCS)")
 		config   = flag.String("config", "", "run a JSON scenario file instead of the flag-built workload (see scenarios/)")
 	)
@@ -83,6 +84,7 @@ func main() {
 		spec := hyscale.NewRunSpec("sim/"+a, hyscale.SimConfig{
 			Seed:      *seed,
 			Nodes:     *nodes,
+			Zones:     *zones,
 			Algorithm: hyscale.AlgorithmName(a),
 		}, *duration)
 		spec.Label = a
@@ -100,12 +102,13 @@ func main() {
 			res.Spec.RowLabel(), *kind, *services, *nodes, *duration)
 		for _, name := range names {
 			s := res.World.Recorder().SummarizeService(name)
-			fmt.Printf("%-8s %s  replicas=%d\n", name, s, len(res.World.Monitor().Replicas(name)))
+			fmt.Printf("%-8s %s  replicas=%d\n", name, s, res.World.Control().ReplicaCount(name))
 		}
 		fmt.Printf("\nTOTAL    %s\n", res.Summary)
 		a := res.Actions
 		fmt.Printf("actions: scale-outs=%d scale-ins=%d vertical=%d placement-failures=%d\n",
 			a.ScaleOuts, a.ScaleIns, a.Vertical, a.PlacementFailures)
+		printZones(res.Zones, res.CrossZone)
 		if res.ClampedEvents > 0 {
 			fmt.Printf("warning: %d events clamped to now (stale-timestamp scheduling)\n", res.ClampedEvents)
 		}
@@ -132,9 +135,17 @@ func runScenario(path string) {
 		fatal(err)
 	}
 	fmt.Printf("scenario %s: algorithm=%s nodes=%d duration=%v\n\n", path, sc.Algorithm, len(w.Cluster().Nodes()), time.Duration(sc.Duration))
-	for _, svc := range sc.Services {
+	services := sc.ExpandedServices()
+	shown := services
+	if len(shown) > 20 {
+		shown = shown[:10]
+	}
+	for _, svc := range shown {
 		s := w.Recorder().SummarizeService(svc.Name)
-		fmt.Printf("%-10s %s  replicas=%d\n", svc.Name, s, len(w.Monitor().Replicas(svc.Name)))
+		fmt.Printf("%-10s %s  replicas=%d\n", svc.Name, s, w.Control().ReplicaCount(svc.Name))
+	}
+	if len(services) > len(shown) {
+		fmt.Printf("… (%d more services)\n", len(services)-len(shown))
 	}
 	fmt.Printf("\nTOTAL      %s\n", w.Summary())
 	fmt.Printf("cost: %s\n", w.CostReport())
@@ -149,10 +160,29 @@ func runScenario(path string) {
 			fmt.Printf("  edge %-20s issued=%d delivered=%d dropped=%d\n", key, e.Issued, e.Delivered, e.Dropped)
 		}
 	}
-	if rec := w.Monitor().Recovery(); rec != (monitor.RecoveryCounts{}) || w.MonitorCrashes() > 0 {
+	if rec := w.Control().Recovery(); rec != (monitor.RecoveryCounts{}) || w.MonitorCrashes() > 0 {
 		fmt.Printf("self-heal: suspected=%d dead=%d recovered=%d lost=%d replaced=%d readopted=%d drained=%d ckpt-restores=%d cold-restarts=%d monitor-crash-periods=%d\n",
 			rec.Suspected, rec.DeclaredDead, rec.Recovered, rec.ReplicasLost, rec.Replaced,
 			rec.Readopted, rec.StaleDrained, rec.CheckpointRestores, rec.ColdRestarts, w.MonitorCrashes())
+	}
+	if zs := w.ZoneSummaries(); zs != nil {
+		cz := w.CrossZone()
+		printZones(zs, &cz)
+	}
+}
+
+// printZones writes one summary line per zone arbiter plus the global
+// allocator's cross-zone counters (no-op for single-zone runs).
+func printZones(zones []monitor.ZoneSummary, cross *monitor.CrossZoneCounts) {
+	if len(zones) == 0 {
+		return
+	}
+	for _, z := range zones {
+		fmt.Printf("zone %d: nodes=%d services=%d replicas=%d scale-outs=%d scale-ins=%d vertical=%d\n",
+			z.Zone, z.Nodes, z.Services, z.Replicas, z.Counts.ScaleOuts, z.Counts.ScaleIns, z.Counts.Vertical)
+	}
+	if cross != nil {
+		fmt.Printf("cross-zone: node-leases=%d lease-failures=%d\n", cross.NodeLeases, cross.LeaseFailures)
 	}
 }
 

@@ -88,6 +88,17 @@ type SimConfig struct {
 	Nodes int
 	// Algorithm selects the autoscaler (default AlgoHyScaleCPUMem).
 	Algorithm AlgorithmName
+	// Zones shards the control plane: the node pool is partitioned into this
+	// many zones, each governed by its own arbiter (a full Monitor over the
+	// zone's nodes), under a thin global allocator that assigns services to
+	// zones and leases idle machines across zone boundaries when a zone runs
+	// out of capacity. Zero or one keeps the classic single central monitor
+	// and its byte-identical output.
+	Zones int
+	// ZoneLeaseHeadroomCPU is the per-node free-CPU threshold below which a
+	// zone is considered starved and proactively leases an idle machine
+	// before its poll (default 1 CPU; only meaningful with Zones > 1).
+	ZoneLeaseHeadroomCPU float64
 	// MonitorPeriod is the decision period (default 5 s).
 	MonitorPeriod time.Duration
 	// NodeCPU / NodeMemMB / NodeNetMbps resize the machines (defaults
@@ -173,6 +184,8 @@ func (cfg SimConfig) platformConfig() platform.Config {
 		pc.NodeTemplate.Capacity.NetMbps = cfg.NodeNetMbps
 		pc.NodeTemplate.Net.CapacityMbps = cfg.NodeNetMbps
 	}
+	pc.Zones = cfg.Zones
+	pc.ZoneLeaseHeadroomCPU = cfg.ZoneLeaseHeadroomCPU
 	pc.Faults = cfg.Faults
 	pc.HardeningOff = cfg.DisableHardening
 	pc.SelfHealing = cfg.SelfHealing
@@ -220,8 +233,9 @@ func (s *Simulation) ServiceReport(name string) metrics.Summary {
 	return s.world.Recorder().SummarizeService(name)
 }
 
-// Actions returns the cumulative scaling-operation counters.
-func (s *Simulation) Actions() monitor.ActionCounts { return s.world.Monitor().Counts() }
+// Actions returns the cumulative scaling-operation counters, summed across
+// zone arbiters when the control plane is zoned.
+func (s *Simulation) Actions() monitor.ActionCounts { return s.world.Control().Counts() }
 
 // ConnFailures breaks connection failures down by cause (all replicas
 // starting, no backend at all, injected backend outage).
@@ -230,15 +244,30 @@ func (s *Simulation) ConnFailures() platform.ConnFailureBreakdown { return s.wor
 // Recovery returns the self-healing counters: detector transitions,
 // lost/replaced/re-adopted replicas and monitor restarts. All zero unless
 // SimConfig.SelfHealing enabled the layer.
-func (s *Simulation) Recovery() RecoveryCounts { return s.world.Monitor().Recovery() }
+func (s *Simulation) Recovery() RecoveryCounts { return s.world.Control().Recovery() }
 
 // NodeConditions returns every attached node's failure-detector state.
-func (s *Simulation) NodeConditions() []NodeCondition { return s.world.Monitor().NodeConditions() }
+func (s *Simulation) NodeConditions() []NodeCondition { return s.world.Control().NodeConditions() }
 
 // Replicas returns the live replica count of a service.
 func (s *Simulation) Replicas(service string) int {
-	return len(s.world.Monitor().Replicas(service))
+	return s.world.Control().ReplicaCount(service)
 }
+
+// ZoneSummary is one zone arbiter's merged ledger (nodes, services, replicas,
+// action and recovery counters).
+type ZoneSummary = monitor.ZoneSummary
+
+// CrossZoneCounts tallies the global allocator's cross-zone activity.
+type CrossZoneCounts = monitor.CrossZoneCounts
+
+// ZoneSummaries returns one ledger per zone arbiter, in zone order; nil when
+// the control plane is not zoned (SimConfig.Zones <= 1).
+func (s *Simulation) ZoneSummaries() []ZoneSummary { return s.world.ZoneSummaries() }
+
+// CrossZone returns the global allocator's node-lease counters (all zero
+// when the control plane is not zoned).
+func (s *Simulation) CrossZone() CrossZoneCounts { return s.world.CrossZone() }
 
 // ClampedEvents counts simulator events that had to be clamped to "now"
 // because a component scheduled them in the past. Non-zero values flag

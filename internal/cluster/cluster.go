@@ -79,6 +79,38 @@ func (c *Cluster) RemoveNode(id string) ([]*workload.Request, error) {
 	return killed, nil
 }
 
+// AdoptNode registers an existing node object without creating a new
+// machine. Zone views use it to share *Node pointers with the physical
+// cluster: the zone's control plane sees exactly the machines it owns while
+// the global cluster keeps ticking all of them.
+func (c *Cluster) AdoptNode(n *Node) error {
+	if _, dup := c.byID[n.ID()]; dup {
+		return fmt.Errorf("cluster: duplicate node ID %q", n.ID())
+	}
+	c.nodes = append(c.nodes, n)
+	c.byID[n.ID()] = n
+	return nil
+}
+
+// ReleaseNode removes a node from this cluster's membership WITHOUT killing
+// its containers, returning the node object (or nil for unknown IDs). The
+// counterpart of AdoptNode: moving a machine between zone views must not
+// disturb the workloads running on it.
+func (c *Cluster) ReleaseNode(id string) *Node {
+	n, ok := c.byID[id]
+	if !ok {
+		return nil
+	}
+	delete(c.byID, id)
+	for i, nn := range c.nodes {
+		if nn.ID() == id {
+			c.nodes = append(c.nodes[:i], c.nodes[i+1:]...)
+			break
+		}
+	}
+	return n
+}
+
 // Node returns the node with the given ID, or nil.
 func (c *Cluster) Node(id string) *Node { return c.byID[id] }
 

@@ -83,13 +83,21 @@ func cpuMicroSpec() workload.ServiceSpec {
 // RunSpecs up front and fan through the executor.
 func RunFig2(opts Options) (*Fig2Result, error) {
 	opts = opts.scaled()
-	res := &Fig2Result{Replicas: []int{1, 2, 4, 8, 16}}
+	specs, res := fig2Specs(opts)
+	results, err := execute(specs, opts)
+	if err != nil {
+		return nil, err
+	}
+	return res, fig2Collect(res, results)
+}
 
-	// Baseline: whole node to itself. Vertical: half the node, stress takes
-	// the other half. Horizontal: the same 2 cores split over R machines; on
-	// each machine the stress container holds the remaining shares so the
-	// service's total CPU access time stays constant (the paper's share
-	// arithmetic).
+// fig2Specs compiles the seven Fig-2 scenarios. Baseline: whole node to
+// itself. Vertical: half the node, stress takes the other half. Horizontal:
+// the same 2 cores split over R machines; on each machine the stress
+// container holds the remaining shares so the service's total CPU access
+// time stays constant (the paper's share arithmetic).
+func fig2Specs(opts Options) ([]runner.RunSpec, *Fig2Result) {
+	res := &Fig2Result{Replicas: []int{1, 2, 4, 8, 16}}
 	specs := []runner.RunSpec{
 		cpuMicroRunSpec(opts, "fig2/baseline", 1, 4, 0),
 		cpuMicroRunSpec(opts, "fig2/vertical", 1, 2, 2),
@@ -98,13 +106,14 @@ func RunFig2(opts Options) (*Fig2Result, error) {
 		perReplica := 2.0 / float64(r)
 		specs = append(specs, cpuMicroRunSpec(opts, fmt.Sprintf("fig2/horizontal-%d", r), r, perReplica, 4-perReplica))
 	}
-	results, err := execute(specs, opts)
-	if err != nil {
-		return nil, err
-	}
+	return specs, res
+}
+
+// fig2Collect harvests the executed specs into the result, in spec order.
+func fig2Collect(res *Fig2Result, results []runner.Result) error {
 	for _, r := range results {
 		if r.Summary.Completed == 0 {
-			return nil, fmt.Errorf("%s: no requests completed", r.Spec.Name)
+			return fmt.Errorf("%s: no requests completed", r.Spec.Name)
 		}
 	}
 	res.BaselineMean = results[0].Summary.MeanLatency
@@ -112,7 +121,7 @@ func RunFig2(opts Options) (*Fig2Result, error) {
 	for i := range res.Replicas {
 		res.HorizontalMean = append(res.HorizontalMean, results[2+i].Summary.MeanLatency)
 	}
-	return res, nil
+	return nil
 }
 
 // cpuMicroRunSpec compiles one Fig-2 scenario: replicas pinned one per node

@@ -21,6 +21,9 @@ import (
 type ScalePoint struct {
 	Nodes    int `json:"nodes"`
 	Services int `json:"services"`
+	// Zones is the control-plane shard count (0 or 1 = the classic single
+	// central monitor).
+	Zones int `json:"zones,omitempty"`
 
 	// SimSeconds is the simulated horizon the run covered.
 	SimSeconds float64 `json:"simSeconds"`
@@ -42,10 +45,11 @@ type ScaleResult struct {
 	Points []ScalePoint
 }
 
-// Point returns the measurement for a nodes/services pair, or nil.
+// Point returns the measurement for a nodes/services pair with a single-zone
+// control plane, or nil.
 func (r *ScaleResult) Point(nodes, services int) *ScalePoint {
 	for i := range r.Points {
-		if r.Points[i].Nodes == nodes && r.Points[i].Services == services {
+		if r.Points[i].Nodes == nodes && r.Points[i].Services == services && r.Points[i].Zones <= 1 {
 			return &r.Points[i]
 		}
 	}
@@ -56,12 +60,17 @@ func (r *ScaleResult) Point(nodes, services int) *ScalePoint {
 func (r *ScaleResult) Table() *Table {
 	t := &Table{
 		Title:   "Scale sweep: sim-seconds per wall-second by cluster size",
-		Columns: []string{"nodes", "services", "sim s", "wall s", "sim/wall", "requests", "scale-outs"},
+		Columns: []string{"nodes", "services", "zones", "sim s", "wall s", "sim/wall", "requests", "scale-outs"},
 	}
 	for _, p := range r.Points {
+		zones := p.Zones
+		if zones < 1 {
+			zones = 1
+		}
 		t.AddRow(
 			fmt.Sprintf("%d", p.Nodes),
 			fmt.Sprintf("%d", p.Services),
+			fmt.Sprintf("%d", zones),
 			fmt.Sprintf("%.0f", p.SimSeconds),
 			fmt.Sprintf("%.2f", p.WallSeconds),
 			fmt.Sprintf("%.1f", p.SimRatio),
@@ -72,11 +81,28 @@ func (r *ScaleResult) Table() *Table {
 	return t
 }
 
-// ScaleGrid is the pinned node-count × service-count sweep: the paper's
-// 24/15 testbed, two intermediate datacenter slices, and the 1,000-node /
-// 500-service north-star point of ROADMAP item 1.
-func ScaleGrid() [][2]int {
-	return [][2]int{{24, 15}, {96, 60}, {200, 100}, {1000, 500}}
+// ScaleConfig is one sweep configuration: cluster size plus the control-plane
+// shard count (Zones <= 1 runs the classic single monitor).
+type ScaleConfig struct {
+	Nodes    int
+	Services int
+	Zones    int
+}
+
+// ScaleGrid is the pinned sweep: the paper's 24/15 testbed, two intermediate
+// datacenter slices, the 1,000-node / 500-service north-star point of
+// ROADMAP item 1 — and the zoned control plane at that same point plus the
+// 5,000-node / 2,000-service configuration only the sharded monitor makes
+// tractable.
+func ScaleGrid() []ScaleConfig {
+	return []ScaleConfig{
+		{Nodes: 24, Services: 15},
+		{Nodes: 96, Services: 60},
+		{Nodes: 200, Services: 100},
+		{Nodes: 1000, Services: 500},
+		{Nodes: 1000, Services: 500, Zones: 8},
+		{Nodes: 5000, Services: 2000, Zones: 16},
+	}
 }
 
 // scaleServices builds n CPU-bound services with per-service variation drawn
@@ -130,11 +156,16 @@ func RunScale(opts Options) (*ScaleResult, error) {
 	duration := scaleDuration(opts)
 	res := &ScaleResult{}
 	for _, g := range ScaleGrid() {
-		nodes, services := g[0], g[1]
+		nodes, services := g.Nodes, g.Services
 		cfg := platform.DefaultConfig(opts.Seed)
 		cfg.Nodes = nodes
+		name := fmt.Sprintf("scale/%dn-%ds", nodes, services)
+		if g.Zones > 1 {
+			cfg.Zones = g.Zones
+			name = fmt.Sprintf("%s-%dz", name, g.Zones)
+		}
 		spec := runner.RunSpec{
-			Name:      fmt.Sprintf("scale/%dn-%ds", nodes, services),
+			Name:      name,
 			Seed:      opts.Seed,
 			Platform:  cfg,
 			Algorithm: "hybridmem",
@@ -154,6 +185,7 @@ func RunScale(opts Options) (*ScaleResult, error) {
 		p := ScalePoint{
 			Nodes:       nodes,
 			Services:    services,
+			Zones:       g.Zones,
 			SimSeconds:  duration.Seconds(),
 			WallSeconds: wall,
 			Requests:    r.Summary.Requests,

@@ -62,6 +62,7 @@ func New(w *platform.World, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /v1/services/{name}", s.handleService)
 	s.mux.HandleFunc("POST /v1/services/{name}/scale", s.handleScale)
 	s.mux.HandleFunc("GET /v1/nodes", s.handleNodes)
+	s.mux.HandleFunc("GET /v1/zones", s.handleZones)
 	s.mux.HandleFunc("GET /v1/latency", s.handleLatency)
 	s.mux.HandleFunc("GET /v1/resilience", s.handleResilience)
 	s.mux.HandleFunc("GET /v1/timeline", s.handleTimeline)
@@ -133,9 +134,9 @@ func (s *Server) handleCost(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleActions(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
-	c := s.world.Monitor().Counts()
-	rec := s.world.Monitor().Recovery()
-	pending := s.world.Monitor().PendingRetries()
+	c := s.world.Control().Counts()
+	rec := s.world.Control().Recovery()
+	pending := s.world.Control().PendingRetries()
 	s.mu.Unlock()
 	s.writeJSON(w, map[string]any{
 		"vertical":          c.Vertical,
@@ -194,7 +195,7 @@ type ServiceDTO struct {
 
 func (s *Server) serviceDTO(name string) ServiceDTO {
 	dto := ServiceDTO{Name: name, Replicas: []ReplicaDTO{}}
-	for _, rep := range s.world.Monitor().Replicas(name) {
+	for _, rep := range s.world.Control().Replicas(name) {
 		dto.Replicas = append(dto.Replicas, replicaDTO(rep))
 	}
 	sum := s.world.Recorder().SummarizeService(name)
@@ -268,7 +269,7 @@ func (s *Server) handleScale(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
-	reps := s.world.Monitor().Replicas(name)
+	reps := s.world.Control().Replicas(name)
 	if len(reps) == 0 {
 		http.Error(w, fmt.Sprintf("unknown service %q", name), http.StatusNotFound)
 		return
@@ -293,7 +294,7 @@ func (s *Server) handleScale(w http.ResponseWriter, r *http.Request) {
 			plan.Actions = append(plan.Actions, core.ScaleIn{ContainerID: reps[i].ID})
 		}
 	}
-	s.world.Monitor().Apply(plan, now)
+	s.world.Control().Apply(plan, now)
 	s.writeJSON(w, map[string]any{"service": name, "replicas": req.Replicas, "actions": len(plan.Actions)})
 }
 
@@ -447,6 +448,20 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, out)
 }
 
+// handleZones reports the zoned control plane's per-zone ledgers and the
+// global allocator's cross-zone counters; 404 on single-monitor worlds.
+func (s *Server) handleZones(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	zs := s.world.ZoneSummaries()
+	cz := s.world.CrossZone()
+	s.mu.Unlock()
+	if zs == nil {
+		http.Error(w, "control plane is not zoned", http.StatusNotFound)
+		return
+	}
+	s.writeJSON(w, map[string]any{"zones": zs, "crossZone": cz})
+}
+
 // handleMetrics renders a Prometheus-style text exposition of the key
 // series: request counters, per-service replica gauges and per-node
 // allocation gauges.
@@ -464,7 +479,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 
 	fmt.Fprintf(w, "# TYPE hyscale_service_replicas gauge\n")
 	for _, name := range s.serviceNames() {
-		fmt.Fprintf(w, "hyscale_service_replicas{service=%q} %d\n", name, len(s.world.Monitor().Replicas(name)))
+		fmt.Fprintf(w, "hyscale_service_replicas{service=%q} %d\n", name, len(s.world.Control().Replicas(name)))
 	}
 
 	fmt.Fprintf(w, "# TYPE hyscale_node_cpu_allocated gauge\n")
@@ -472,7 +487,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "hyscale_node_cpu_allocated{node=%q} %.3f\n", n.ID(), n.Allocated().CPU)
 	}
 
-	c := s.world.Monitor().Counts()
+	c := s.world.Control().Counts()
 	fmt.Fprintf(w, "# TYPE hyscale_scaling_actions_total counter\n")
 	fmt.Fprintf(w, "hyscale_scaling_actions_total{kind=\"vertical\"} %d\n", c.Vertical)
 	fmt.Fprintf(w, "hyscale_scaling_actions_total{kind=\"scale_out\"} %d\n", c.ScaleOuts)
@@ -482,9 +497,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# TYPE hyscale_control_abandoned_total counter\nhyscale_control_abandoned_total %d\n", c.AbandonedActions)
 	fmt.Fprintf(w, "# TYPE hyscale_control_stale_snapshots_total counter\nhyscale_control_stale_snapshots_total %d\n", c.StaleSnapshots)
 	fmt.Fprintf(w, "# TYPE hyscale_control_placement_failures_total counter\nhyscale_control_placement_failures_total %d\n", c.PlacementFailures)
-	fmt.Fprintf(w, "# TYPE hyscale_control_pending_retries gauge\nhyscale_control_pending_retries %d\n", s.world.Monitor().PendingRetries())
+	fmt.Fprintf(w, "# TYPE hyscale_control_pending_retries gauge\nhyscale_control_pending_retries %d\n", s.world.Control().PendingRetries())
 
-	rec := s.world.Monitor().Recovery()
+	rec := s.world.Control().Recovery()
 	fmt.Fprintf(w, "# TYPE hyscale_selfheal_nodes_suspected_total counter\nhyscale_selfheal_nodes_suspected_total %d\n", rec.Suspected)
 	fmt.Fprintf(w, "# TYPE hyscale_selfheal_nodes_dead_total counter\nhyscale_selfheal_nodes_dead_total %d\n", rec.DeclaredDead)
 	fmt.Fprintf(w, "# TYPE hyscale_selfheal_nodes_recovered_total counter\nhyscale_selfheal_nodes_recovered_total %d\n", rec.Recovered)
@@ -497,8 +512,34 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# TYPE hyscale_selfheal_cold_restarts_total counter\nhyscale_selfheal_cold_restarts_total %d\n", rec.ColdRestarts)
 
 	fmt.Fprintf(w, "# TYPE hyscale_node_health gauge\n")
-	for _, nc := range s.world.Monitor().NodeConditions() {
+	for _, nc := range s.world.Control().NodeConditions() {
 		fmt.Fprintf(w, "hyscale_node_health{node=%q,state=%q} %d\n", nc.Node, nc.Health.String(), int(nc.Health))
+	}
+
+	// Zone series only exist on zoned worlds, keeping the single-monitor
+	// exposition byte-identical to before the sharded control plane.
+	if zs := s.world.ZoneSummaries(); zs != nil {
+		fmt.Fprintf(w, "# TYPE hyscale_zone_nodes gauge\n")
+		for _, z := range zs {
+			fmt.Fprintf(w, "hyscale_zone_nodes{zone=\"%d\"} %d\n", z.Zone, z.Nodes)
+		}
+		fmt.Fprintf(w, "# TYPE hyscale_zone_services gauge\n")
+		for _, z := range zs {
+			fmt.Fprintf(w, "hyscale_zone_services{zone=\"%d\"} %d\n", z.Zone, z.Services)
+		}
+		fmt.Fprintf(w, "# TYPE hyscale_zone_replicas gauge\n")
+		for _, z := range zs {
+			fmt.Fprintf(w, "hyscale_zone_replicas{zone=\"%d\"} %d\n", z.Zone, z.Replicas)
+		}
+		fmt.Fprintf(w, "# TYPE hyscale_zone_scaling_actions_total counter\n")
+		for _, z := range zs {
+			fmt.Fprintf(w, "hyscale_zone_scaling_actions_total{zone=\"%d\",kind=\"vertical\"} %d\n", z.Zone, z.Counts.Vertical)
+			fmt.Fprintf(w, "hyscale_zone_scaling_actions_total{zone=\"%d\",kind=\"scale_out\"} %d\n", z.Zone, z.Counts.ScaleOuts)
+			fmt.Fprintf(w, "hyscale_zone_scaling_actions_total{zone=\"%d\",kind=\"scale_in\"} %d\n", z.Zone, z.Counts.ScaleIns)
+		}
+		cz := s.world.CrossZone()
+		fmt.Fprintf(w, "# TYPE hyscale_cross_zone_node_leases_total counter\nhyscale_cross_zone_node_leases_total %d\n", cz.NodeLeases)
+		fmt.Fprintf(w, "# TYPE hyscale_cross_zone_lease_failures_total counter\nhyscale_cross_zone_lease_failures_total %d\n", cz.LeaseFailures)
 	}
 
 	cf := s.world.ConnFailures()

@@ -380,3 +380,86 @@ func TestTimelineDisabled(t *testing.T) {
 		t.Errorf("unobserved world leaked a timeline: %+v", body)
 	}
 }
+
+func zonedTestWorld(t *testing.T) *platform.World {
+	t.Helper()
+	cfg := platform.DefaultConfig(1)
+	cfg.Nodes = 6
+	cfg.Zones = 2
+	w, err := platform.New(cfg, core.NewKubernetes(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := workload.ServiceSpec{
+		Name: "api", Kind: workload.KindCPUBound,
+		CPUPerRequest: 0.05, MemPerRequest: 2, BaselineMemMB: 100,
+		InitialReplicaCPU: 1, InitialReplicaMemMB: 512,
+		MinReplicas: 2, MaxReplicas: 6, Timeout: 10 * time.Second,
+	}
+	if err := w.AddService(spec, 0.5, loadgen.Constant{RPS: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestZonesEndpoint(t *testing.T) {
+	// Single-monitor worlds have no zones resource.
+	if rec := get(t, New(testWorld(t)), "/v1/zones"); rec.Code != http.StatusNotFound {
+		t.Fatalf("unzoned /v1/zones status = %d, want 404", rec.Code)
+	}
+
+	srv := New(zonedTestWorld(t))
+	rec := get(t, srv, "/v1/zones")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var body struct {
+		Zones []struct {
+			Zone     int `json:"zone"`
+			Nodes    int `json:"nodes"`
+			Replicas int `json:"replicas"`
+		} `json:"zones"`
+		CrossZone map[string]any `json:"crossZone"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Zones) != 2 {
+		t.Fatalf("zones = %d, want 2", len(body.Zones))
+	}
+	nodes, replicas := 0, 0
+	for _, z := range body.Zones {
+		nodes += z.Nodes
+		replicas += z.Replicas
+	}
+	if nodes != 6 {
+		t.Errorf("zone nodes sum = %d, want 6", nodes)
+	}
+	if replicas < 2 {
+		t.Errorf("zone replicas sum = %d, want >= 2", replicas)
+	}
+	if body.CrossZone == nil {
+		t.Error("missing crossZone counters")
+	}
+}
+
+func TestMetricsZoneSeries(t *testing.T) {
+	// Unzoned exposition must not grow zone series.
+	if out := get(t, New(testWorld(t)), "/metrics").Body.String(); strings.Contains(out, "hyscale_zone_") {
+		t.Fatal("unzoned /metrics exposes hyscale_zone_ series")
+	}
+	out := get(t, New(zonedTestWorld(t)), "/metrics").Body.String()
+	for _, want := range []string{
+		`hyscale_zone_nodes{zone="0"}`,
+		`hyscale_zone_replicas{zone="1"}`,
+		`hyscale_zone_scaling_actions_total{zone="0",kind="scale_out"}`,
+		"hyscale_cross_zone_node_leases_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %s", want)
+		}
+	}
+}

@@ -158,6 +158,13 @@ type Monitor struct {
 	// layer). Nil — the default — keeps the hot path untouched.
 	Obs *obs.Journal
 
+	// OutOfCapacity, when non-nil, is consulted after a placement finds no
+	// fitting node: it may add capacity (the zoned control plane leases an
+	// idle machine from another zone) and returns whether it did, in which
+	// case the placement is retried once. Nil — the single-arbiter default —
+	// leaves every placement path byte-identical to the unsharded monitor.
+	OutOfCapacity func(alloc resources.Vector) bool
+
 	retries     []pendingAction
 	lastReports map[string]*cachedReport
 	// lastObs caches each service's aggregate observed usage from the most
@@ -303,6 +310,9 @@ func (m *Monitor) DeployInitial(service string, now time.Duration) error {
 	}
 	for len(st.replicaIDs) < st.spec.MinReplicas {
 		nodeID := m.leastLoadedNode(st.info.InitialAlloc)
+		if nodeID == "" && m.OutOfCapacity != nil && m.OutOfCapacity(st.info.InitialAlloc) {
+			nodeID = m.leastLoadedNode(st.info.InitialAlloc)
+		}
 		if nodeID == "" {
 			return fmt.Errorf("monitor: no node fits initial replica of %q", service)
 		}
@@ -742,6 +752,9 @@ func (m *Monitor) execute(p pendingAction, now time.Duration) {
 		// capacity at execution time, not at enqueue time.
 		if act.NodeID == "" {
 			act.NodeID = m.leastLoadedNode(act.Alloc)
+			if act.NodeID == "" && m.OutOfCapacity != nil && m.OutOfCapacity(act.Alloc) {
+				act.NodeID = m.leastLoadedNode(act.Alloc)
+			}
 			a = act
 			if act.NodeID == "" {
 				m.counts.PlacementFailures++
@@ -763,6 +776,13 @@ func (m *Monitor) execute(p pendingAction, now time.Duration) {
 		if err != nil && p.attempts > 0 {
 			// The originally chosen node filled up while the action waited;
 			// fall back to the best currently fitting node.
+			if alt := m.leastLoadedNode(act.Alloc); alt != "" && alt != act.NodeID {
+				act.NodeID = alt
+				a = act
+				err = m.startReplica(st, alt, act.Alloc, now, slowBy)
+			}
+		}
+		if err != nil && m.OutOfCapacity != nil && m.OutOfCapacity(act.Alloc) {
 			if alt := m.leastLoadedNode(act.Alloc); alt != "" && alt != act.NodeID {
 				act.NodeID = alt
 				a = act

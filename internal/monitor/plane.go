@@ -1,0 +1,521 @@
+// The zoned control plane: the datacenter-scale successor to the single
+// central arbiter. Nodes are partitioned into zones, each owned by a zone
+// arbiter — a full Monitor running over a zone-local cluster view — and a
+// thin global allocator (the Plane) sits above them handling service→zone
+// assignment, cross-zone capacity leasing when a zone runs dry, and the
+// merging of per-zone ledgers into the cluster-wide view experiments, obs
+// and httpapi consume.
+//
+// Each arbiter polls only its own nodes and hands the scaling algorithm a
+// zone-local snapshot, so the per-poll placement scan drops from O(services
+// × nodes) to O(services × nodes / zones) — the structural speedup ROADMAP
+// item 1 asked for after PR 7 exhausted micro-optimization.
+//
+// Zones stay disjoint: a node belongs to exactly one arbiter at a time, so
+// no machine is double-polled and every replica has exactly one owner.
+// Cross-zone placement is therefore node leasing, not remote placement —
+// when a zone is out of capacity the allocator moves an idle (container-free,
+// detector-healthy) machine from the richest donor zone into the starved
+// one. Determinism is preserved: zones are polled in index order and every
+// scan is over deterministic slices.
+package monitor
+
+import (
+	"fmt"
+	"time"
+
+	"hyscale/internal/cluster"
+	"hyscale/internal/container"
+	"hyscale/internal/core"
+	"hyscale/internal/resources"
+	"hyscale/internal/workload"
+)
+
+// ControlPlane is the surface the platform drives: both the single Monitor
+// and the zoned Plane implement it, so every consumer of the cluster view —
+// runner, httpapi, obs sampling, the facade — is agnostic to sharding.
+type ControlPlane interface {
+	AddService(spec workload.ServiceSpec, targetUtil float64) error
+	DeployInitial(service string, now time.Duration) error
+	StartReplica(service, nodeID string, alloc resources.Vector, now time.Duration) error
+
+	Sample()
+	Poll(now time.Duration)
+	Apply(plan core.Plan, now time.Duration)
+	MaybeCheckpoint(now time.Duration)
+	Restart(now time.Duration)
+
+	Replicas(service string) []*container.Container
+	AppendReplicas(buf []*container.Container, service string) []*container.Container
+	ReplicaCount(service string) int
+
+	Counts() ActionCounts
+	Recovery() RecoveryCounts
+	NodeConditions() []NodeCondition
+	PendingRetries() int
+	Algorithm() core.Algorithm
+
+	DetachNode(nodeID string)
+	AttachNode(n *cluster.Node)
+}
+
+var (
+	_ ControlPlane = (*Monitor)(nil)
+	_ ControlPlane = (*Plane)(nil)
+)
+
+// PlaneConfig parameterises the zoned control plane.
+type PlaneConfig struct {
+	// Zones is the number of zone arbiters; clamped to the node count.
+	Zones int
+	// LeaseHeadroomCPU triggers proactive leasing: when a zone's best
+	// single-node available CPU falls below this many cores before a poll,
+	// the allocator moves one idle node in so the zone's algorithm still has
+	// somewhere to scale out. Zero means the 1-core default.
+	LeaseHeadroomCPU float64
+}
+
+func (c PlaneConfig) headroom() resources.Vector {
+	h := c.LeaseHeadroomCPU
+	if h <= 0 {
+		h = 1
+	}
+	return resources.Vector{CPU: h}
+}
+
+// CrossZoneCounts tallies the global allocator's activity.
+type CrossZoneCounts struct {
+	// NodeLeases counts idle machines moved between zones.
+	NodeLeases uint64 `json:"nodeLeases"`
+	// LeaseFailures counts lease attempts that found no movable machine.
+	LeaseFailures uint64 `json:"leaseFailures"`
+}
+
+// ZoneSummary is one zone's merged view, for per-zone metrics and the
+// hyscale-sim summary lines.
+type ZoneSummary struct {
+	Zone           int            `json:"zone"`
+	Nodes          int            `json:"nodes"`
+	Services       int            `json:"services"`
+	Replicas       int            `json:"replicas"`
+	Counts         ActionCounts   `json:"counts"`
+	Recovery       RecoveryCounts `json:"recovery"`
+	PendingRetries int            `json:"pendingRetries"`
+}
+
+// zoneArbiter couples one zone's cluster view with the Monitor that owns it.
+type zoneArbiter struct {
+	idx      int
+	view     *cluster.Cluster
+	mon      *Monitor
+	services []string
+}
+
+// Plane is the two-level control plane: zone arbiters below, the global
+// allocator above. Single-goroutine like everything else in the simulator.
+type Plane struct {
+	global *cluster.Cluster
+	cfg    PlaneConfig
+	algo   core.Algorithm
+
+	zones         []*zoneArbiter
+	zoneOfNode    map[string]int
+	zoneOfService map[string]int
+
+	cross CrossZoneCounts
+}
+
+// NewPlane partitions the cluster's nodes into contiguous zones and builds
+// one arbiter per zone. The algorithm instance is shared by all arbiters:
+// every algorithm in internal/core keys its state per service name, services
+// are assigned to exactly one zone, and zones decide sequentially, so no
+// state crosses zone boundaries.
+func NewPlane(cl *cluster.Cluster, algo core.Algorithm, cfg PlaneConfig) (*Plane, error) {
+	nodes := cl.Nodes()
+	if cfg.Zones < 2 {
+		return nil, fmt.Errorf("monitor: plane needs at least 2 zones, got %d (use Monitor for 1)", cfg.Zones)
+	}
+	k := cfg.Zones
+	if k > len(nodes) {
+		k = len(nodes)
+	}
+	p := &Plane{
+		global:        cl,
+		cfg:           cfg,
+		algo:          algo,
+		zoneOfNode:    make(map[string]int, len(nodes)),
+		zoneOfService: make(map[string]int),
+	}
+	for z := 0; z < k; z++ {
+		view, err := cluster.New()
+		if err != nil {
+			return nil, err
+		}
+		lo, hi := z*len(nodes)/k, (z+1)*len(nodes)/k
+		for _, n := range nodes[lo:hi] {
+			if err := view.AdoptNode(n); err != nil {
+				return nil, err
+			}
+			p.zoneOfNode[n.ID()] = z
+		}
+		za := &zoneArbiter{idx: z, view: view, mon: New(view, algo)}
+		zi := z
+		za.mon.OutOfCapacity = func(alloc resources.Vector) bool {
+			return p.leaseInto(zi, alloc)
+		}
+		p.zones = append(p.zones, za)
+	}
+	return p, nil
+}
+
+// Arbiters returns the zone monitors in zone order, so the platform can
+// apply shared configuration (faults, hardening, self-healing, obs) and
+// tests can inspect per-zone ledgers.
+func (p *Plane) Arbiters() []*Monitor {
+	out := make([]*Monitor, len(p.zones))
+	for i, z := range p.zones {
+		out[i] = z.mon
+	}
+	return out
+}
+
+// ZoneCount returns the number of zones.
+func (p *Plane) ZoneCount() int { return len(p.zones) }
+
+// ZoneOfService returns the zone a service was assigned to, or -1.
+func (p *Plane) ZoneOfService(name string) int {
+	if z, ok := p.zoneOfService[name]; ok {
+		return z
+	}
+	return -1
+}
+
+// Cross returns the global allocator's cumulative counters.
+func (p *Plane) Cross() CrossZoneCounts { return p.cross }
+
+// ZoneSummaries returns each zone's merged view in zone order.
+func (p *Plane) ZoneSummaries() []ZoneSummary {
+	out := make([]ZoneSummary, len(p.zones))
+	for i, z := range p.zones {
+		s := ZoneSummary{
+			Zone:           z.idx,
+			Nodes:          len(z.view.Nodes()),
+			Services:       len(z.services),
+			Counts:         z.mon.Counts(),
+			Recovery:       z.mon.Recovery(),
+			PendingRetries: z.mon.PendingRetries(),
+		}
+		for _, name := range z.services {
+			s.Replicas += z.mon.ReplicaCount(name)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// home returns the arbiter owning a service, or nil.
+func (p *Plane) home(service string) *zoneArbiter {
+	z, ok := p.zoneOfService[service]
+	if !ok {
+		return nil
+	}
+	return p.zones[z]
+}
+
+// AddService assigns the service to the zone with the fewest services
+// (lowest index on ties — round-robin for uniform registration) and
+// registers it with that zone's arbiter.
+func (p *Plane) AddService(spec workload.ServiceSpec, targetUtil float64) error {
+	if _, dup := p.zoneOfService[spec.Name]; dup {
+		return fmt.Errorf("monitor: duplicate service %q", spec.Name)
+	}
+	best := 0
+	for i := 1; i < len(p.zones); i++ {
+		if len(p.zones[i].services) < len(p.zones[best].services) {
+			best = i
+		}
+	}
+	za := p.zones[best]
+	if err := za.mon.AddService(spec, targetUtil); err != nil {
+		return err
+	}
+	za.services = append(za.services, spec.Name)
+	p.zoneOfService[spec.Name] = best
+	return nil
+}
+
+// DeployInitial forwards to the service's home arbiter; a full home zone
+// leases capacity through the arbiter's OutOfCapacity hook.
+func (p *Plane) DeployInitial(service string, now time.Duration) error {
+	za := p.home(service)
+	if za == nil {
+		return fmt.Errorf("monitor: unknown service %q", service)
+	}
+	return za.mon.DeployInitial(service, now)
+}
+
+// StartReplica forwards a pinned placement to the service's home arbiter.
+// The pinned node must live in the home zone: zones own their machines
+// exclusively, so a cross-zone pin would create a replica its owner cannot
+// poll.
+func (p *Plane) StartReplica(service, nodeID string, alloc resources.Vector, now time.Duration) error {
+	za := p.home(service)
+	if za == nil {
+		return fmt.Errorf("monitor: unknown service %q", service)
+	}
+	if z, ok := p.zoneOfNode[nodeID]; !ok || z != za.idx {
+		return fmt.Errorf("monitor: node %q is not in service %q's zone %d", nodeID, service, za.idx)
+	}
+	return za.mon.StartReplica(service, nodeID, alloc, now)
+}
+
+// Sample forwards a stats-sampling tick to every zone's node managers.
+func (p *Plane) Sample() {
+	for _, z := range p.zones {
+		z.mon.Sample()
+	}
+}
+
+// Poll runs one monitoring period across all zones in index order. Before a
+// zone decides, the allocator tops up its headroom: algorithms silently skip
+// scale-outs when no local node fits, so a starved zone must receive an idle
+// machine before Decide runs, not after.
+func (p *Plane) Poll(now time.Duration) {
+	for _, z := range p.zones {
+		if len(z.services) > 0 && p.starved(z) {
+			p.leaseInto(z.idx, p.cfg.headroom())
+		}
+		z.mon.Poll(now)
+	}
+}
+
+// starved reports whether no node in the zone has at least the configured
+// headroom free (dead nodes excluded).
+func (p *Plane) starved(z *zoneArbiter) bool {
+	need := p.cfg.headroom()
+	for _, n := range z.view.Nodes() {
+		if z.mon.nodeDead(n.ID()) {
+			continue
+		}
+		if need.FitsIn(n.Available()) {
+			return false
+		}
+	}
+	return true
+}
+
+// leaseInto moves one idle machine into the starved zone: the donor scan
+// picks, across all other zones, the container-free detector-healthy node
+// with the most available CPU that fits alloc (first such node on ties, in
+// zone/node order), provided its donor keeps at least one machine. Returns
+// whether a machine moved.
+func (p *Plane) leaseInto(zi int, alloc resources.Vector) bool {
+	var donor *zoneArbiter
+	var pick *cluster.Node
+	for _, z := range p.zones {
+		if z.idx == zi || len(z.view.Nodes()) <= 1 {
+			continue
+		}
+		for _, n := range z.view.Nodes() {
+			if len(n.Containers()) != 0 {
+				continue
+			}
+			if st := z.mon.nodeStates[n.ID()]; st != nil && (st.missed > 0 || st.health != NodeHealthy) {
+				// Unreachable machines don't move: the borrower would inherit
+				// a node its fresh detector state knows nothing about.
+				continue
+			}
+			if !alloc.FitsIn(n.Available()) {
+				continue
+			}
+			if pick == nil || n.Available().CPU > pick.Available().CPU {
+				donor, pick = z, n
+			}
+		}
+	}
+	if pick == nil {
+		p.cross.LeaseFailures++
+		return false
+	}
+	id := pick.ID()
+	donor.view.ReleaseNode(id)
+	donor.mon.DetachNode(id)
+	borrower := p.zones[zi]
+	if err := borrower.view.AdoptNode(pick); err != nil {
+		return false // unreachable: zones are disjoint
+	}
+	borrower.mon.AttachNode(pick)
+	p.zoneOfNode[id] = zi
+	p.cross.NodeLeases++
+	return true
+}
+
+// Apply routes a plan's actions: scale-outs to the service's home arbiter,
+// container-addressed actions to the zone whose view holds the container.
+// Used by the manual-scale HTTP endpoint; the periodic loop never crosses
+// this path (each arbiter applies its own plans inside Poll).
+func (p *Plane) Apply(plan core.Plan, now time.Duration) {
+	for _, a := range plan.Actions {
+		one := core.Plan{Actions: []core.Action{a}}
+		switch act := a.(type) {
+		case core.ScaleOut:
+			if za := p.home(act.Service); za != nil {
+				za.mon.Apply(one, now)
+			}
+		case core.VerticalScale:
+			if za := p.owner(act.ContainerID); za != nil {
+				za.mon.Apply(one, now)
+			}
+		case core.ScaleIn:
+			if za := p.owner(act.ContainerID); za != nil {
+				za.mon.Apply(one, now)
+			}
+		}
+	}
+}
+
+// owner returns the arbiter whose view holds the container, or nil.
+func (p *Plane) owner(containerID string) *zoneArbiter {
+	for _, z := range p.zones {
+		if c, _ := z.view.FindContainer(containerID); c != nil {
+			return z
+		}
+	}
+	return nil
+}
+
+// MaybeCheckpoint forwards to every arbiter: the control plane crashes and
+// checkpoints as a unit.
+func (p *Plane) MaybeCheckpoint(now time.Duration) {
+	for _, z := range p.zones {
+		z.mon.MaybeCheckpoint(now)
+	}
+}
+
+// Restart restarts every arbiter after a control-plane crash window, each
+// from its own checkpoint (or cold).
+func (p *Plane) Restart(now time.Duration) {
+	for _, z := range p.zones {
+		z.mon.Restart(now)
+	}
+}
+
+// Replicas returns a service's live replicas from its home arbiter.
+func (p *Plane) Replicas(service string) []*container.Container {
+	return p.AppendReplicas(nil, service)
+}
+
+// AppendReplicas appends a service's live replicas from its home arbiter.
+func (p *Plane) AppendReplicas(buf []*container.Container, service string) []*container.Container {
+	za := p.home(service)
+	if za == nil {
+		return buf
+	}
+	return za.mon.AppendReplicas(buf, service)
+}
+
+// ReplicaCount returns a service's live replica count from its home arbiter.
+func (p *Plane) ReplicaCount(service string) int {
+	za := p.home(service)
+	if za == nil {
+		return 0
+	}
+	return za.mon.ReplicaCount(service)
+}
+
+// Counts returns the action counters summed across all zone arbiters.
+func (p *Plane) Counts() ActionCounts {
+	var out ActionCounts
+	for _, z := range p.zones {
+		c := z.mon.Counts()
+		out.Vertical += c.Vertical
+		out.ScaleOuts += c.ScaleOuts
+		out.ScaleIns += c.ScaleIns
+		out.PlacementFailures += c.PlacementFailures
+		out.Retries += c.Retries
+		out.AbandonedActions += c.AbandonedActions
+		out.StaleSnapshots += c.StaleSnapshots
+	}
+	return out
+}
+
+// Recovery returns the self-healing counters summed across all arbiters.
+func (p *Plane) Recovery() RecoveryCounts {
+	var out RecoveryCounts
+	for _, z := range p.zones {
+		r := z.mon.Recovery()
+		out.Suspected += r.Suspected
+		out.DeclaredDead += r.DeclaredDead
+		out.Recovered += r.Recovered
+		out.ReplicasLost += r.ReplicasLost
+		out.Replaced += r.Replaced
+		out.Readopted += r.Readopted
+		out.StaleDrained += r.StaleDrained
+		out.ReconcileCancelled += r.ReconcileCancelled
+		out.CheckpointRestores += r.CheckpointRestores
+		out.ColdRestarts += r.ColdRestarts
+	}
+	return out
+}
+
+// NodeConditions concatenates every zone's detector view in zone order.
+func (p *Plane) NodeConditions() []NodeCondition {
+	var out []NodeCondition
+	for _, z := range p.zones {
+		out = append(out, z.mon.NodeConditions()...)
+	}
+	return out
+}
+
+// PendingRetries sums the retry-queue depth across all arbiters.
+func (p *Plane) PendingRetries() int {
+	n := 0
+	for _, z := range p.zones {
+		n += z.mon.PendingRetries()
+	}
+	return n
+}
+
+// Algorithm returns the shared scaling algorithm.
+func (p *Plane) Algorithm() core.Algorithm { return p.algo }
+
+// DetachNode drops a machine from its zone's view and arbiter — the
+// out-of-band failure notification used when self-healing is off.
+func (p *Plane) DetachNode(nodeID string) {
+	z, ok := p.zoneOfNode[nodeID]
+	if !ok {
+		return
+	}
+	p.zones[z].view.ReleaseNode(nodeID) // nil when NoteNodeRemoved already ran
+	p.zones[z].mon.DetachNode(nodeID)
+	delete(p.zoneOfNode, nodeID)
+}
+
+// AttachNode assigns a newly added machine to the zone with the fewest nodes
+// (lowest index on ties) and registers it with that zone's arbiter.
+func (p *Plane) AttachNode(n *cluster.Node) {
+	if _, dup := p.zoneOfNode[n.ID()]; dup {
+		return
+	}
+	best := 0
+	for i := 1; i < len(p.zones); i++ {
+		if len(p.zones[i].view.Nodes()) < len(p.zones[best].view.Nodes()) {
+			best = i
+		}
+	}
+	if err := p.zones[best].view.AdoptNode(n); err != nil {
+		return
+	}
+	p.zones[best].mon.AttachNode(n)
+	p.zoneOfNode[n.ID()] = best
+}
+
+// NoteNodeRemoved mirrors a machine's physical removal into its zone view
+// WITHOUT detaching it from the arbiter: the zone's failure detector must
+// discover the death through missed polls, exactly as the single monitor
+// does when the platform removes a node under self-healing.
+func (p *Plane) NoteNodeRemoved(nodeID string) {
+	if z, ok := p.zoneOfNode[nodeID]; ok {
+		p.zones[z].view.ReleaseNode(nodeID)
+	}
+}

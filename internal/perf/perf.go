@@ -167,8 +167,11 @@ func (r *Report) Summary() string {
 		if base := baselinePoint(r.Baseline.ScaleSweep, p.Nodes, p.Services); base != nil && base.SimRatio > 0 {
 			speedup = fmt.Sprintf("  (%.2fx vs baseline %.1f)", p.SimRatio/base.SimRatio, base.SimRatio)
 		}
-		out += fmt.Sprintf("  %-24s %9.1f sim-s/wall-s%s\n",
-			fmt.Sprintf("scale/%dn-%ds", p.Nodes, p.Services), p.SimRatio, speedup)
+		label := fmt.Sprintf("scale/%dn-%ds", p.Nodes, p.Services)
+		if p.Zones > 1 {
+			label = fmt.Sprintf("%s-%dz", label, p.Zones)
+		}
+		out += fmt.Sprintf("  %-24s %9.1f sim-s/wall-s%s\n", label, p.SimRatio, speedup)
 	}
 	return out
 }

@@ -176,7 +176,7 @@ func (g *graphRun) admit(n *reqNode) {
 	req.ExtraLatency += w.cfg.BaseLatency
 	now := w.engine.Now()
 
-	w.replicaBuf = w.monitor.AppendReplicas(w.replicaBuf[:0], req.Service)
+	w.replicaBuf = w.ctl.AppendReplicas(w.replicaBuf[:0], req.Service)
 	target, err := w.lb.RouteAt(now, req, w.replicaBuf)
 	if err != nil {
 		g.dropEdge(n)

@@ -79,6 +79,15 @@ type Config struct {
 	// retry budgets, deadline propagation, load shedding) on the call
 	// graph's traffic. The zero value disables everything.
 	Resilience resilience.Config
+	// Zones shards the control plane into that many per-zone arbiters under
+	// a thin global allocator (see monitor.Plane), and shards the event heap
+	// to match. 0 or 1 — the default — runs the single central Monitor with
+	// byte-identical output to every release before zoning existed.
+	Zones int
+	// ZoneLeaseHeadroomCPU tunes the allocator's proactive-lease threshold
+	// (cores of single-node headroom a zone must retain); zero means the
+	// 1-core default. Ignored unless Zones > 1.
+	ZoneLeaseHeadroomCPU float64
 }
 
 // DefaultConfig mirrors the paper's experimental setup: 24 nodes minus the
@@ -124,7 +133,12 @@ type World struct {
 	cfg     Config
 	engine  *sim.Engine
 	cluster *cluster.Cluster
+	// ctl is the control plane the world drives: the single monitor for
+	// Zones <= 1, the zoned plane otherwise. Exactly one of monitor/plane is
+	// non-nil.
+	ctl     monitor.ControlPlane
 	monitor *monitor.Monitor
+	plane   *monitor.Plane
 	lb      *lb.Balancer
 
 	services []*serviceRuntime
@@ -186,24 +200,47 @@ func New(cfg Config, algo core.Algorithm) (*World, error) {
 		UtilSeries:    &metrics.TimeSeries{Name: "cluster-cpu-util"},
 	}
 	w.lb.DistributionOverhead = cfg.DistributionOverhead
-	if algo != nil {
-		w.monitor = monitor.New(cl, algo)
+	if algo == nil {
+		algo = noopAlgorithm{}
+	}
+	zones := cfg.Zones
+	if zones > cfg.Nodes {
+		zones = cfg.Nodes
+	}
+	if zones > 1 {
+		p, err := monitor.NewPlane(cl, algo, monitor.PlaneConfig{
+			Zones: zones, LeaseHeadroomCPU: cfg.ZoneLeaseHeadroomCPU,
+		})
+		if err != nil {
+			return nil, err
+		}
+		w.plane = p
+		w.ctl = p
+		// Shard the event heap to match: heap maintenance stays flat as the
+		// zoned worlds grow the event volume. Ordering is provably identical.
+		if err := w.engine.SetShards(zones); err != nil {
+			return nil, err
+		}
 	} else {
-		w.monitor = monitor.New(cl, noopAlgorithm{})
+		w.monitor = monitor.New(cl, algo)
+		w.ctl = w.monitor
 	}
 	if cfg.Observe {
 		w.journal = obs.NewJournal()
-		w.monitor.Obs = w.journal
 	}
-	w.monitor.StartDelay = cfg.StartDelay
-	w.monitor.SelfHeal = cfg.SelfHealing
-	w.monitor.OnRemovalFailure = func(r *workload.Request) {
+	onRemoval := func(r *workload.Request) {
 		if w.graph != nil {
 			w.graph.onRemoval(r)
 			return
 		}
 		w.recorder.RecordFailure(r.Service, workload.FailureRemoval)
 		w.costs.ObserveFailure()
+	}
+	for _, m := range w.arbiters() {
+		m.Obs = w.journal
+		m.StartDelay = cfg.StartDelay
+		m.SelfHeal = cfg.SelfHealing
+		m.OnRemovalFailure = onRemoval
 	}
 	if err := cfg.Faults.Validate(); err != nil {
 		return nil, err
@@ -228,10 +265,13 @@ func New(cfg Config, algo core.Algorithm) (*World, error) {
 		w.graph = newGraphRun(w, cfg.CallGraph, m)
 	}
 	w.faults = faults.New(cfg.Faults)
-	w.monitor.Faults = w.faults
-	if cfg.HardeningOff {
-		w.monitor.Hardening.Enabled = false
-	} else if w.faults.Enabled() {
+	for _, m := range w.arbiters() {
+		m.Faults = w.faults
+		if cfg.HardeningOff {
+			m.Hardening.Enabled = false
+		}
+	}
+	if !cfg.HardeningOff && w.faults.Enabled() {
 		// The hardened balancer probes backends against the injected outage
 		// schedule; the unhardened one routes blind and eats the failures.
 		w.lb.HealthCheck = func(now time.Duration, c *container.Container) bool {
@@ -248,14 +288,57 @@ type noopAlgorithm struct{}
 func (noopAlgorithm) Name() string                   { return "static" }
 func (noopAlgorithm) Decide(core.Snapshot) core.Plan { return core.Plan{} }
 
+// arbiters returns every Monitor in the world — the single central one, or
+// one per zone — so shared configuration applies uniformly.
+func (w *World) arbiters() []*monitor.Monitor {
+	if w.plane != nil {
+		return w.plane.Arbiters()
+	}
+	return []*monitor.Monitor{w.monitor}
+}
+
 // Engine exposes the simulation engine (for custom scheduled events).
 func (w *World) Engine() *sim.Engine { return w.engine }
 
 // Cluster exposes the cluster (for assertions in tests).
 func (w *World) Cluster() *cluster.Cluster { return w.cluster }
 
-// Monitor exposes the central arbiter.
+// Monitor exposes the central arbiter. It is nil when the control plane is
+// zoned (Config.Zones > 1); zone-agnostic callers should use Control.
 func (w *World) Monitor() *monitor.Monitor { return w.monitor }
+
+// Control exposes the control plane: the central Monitor, or the zoned
+// Plane when Config.Zones > 1.
+func (w *World) Control() monitor.ControlPlane { return w.ctl }
+
+// Plane exposes the zoned control plane, nil when Config.Zones <= 1.
+func (w *World) Plane() *monitor.Plane { return w.plane }
+
+// Zones returns the number of control-plane zones (1 for the single
+// central monitor).
+func (w *World) Zones() int {
+	if w.plane != nil {
+		return w.plane.ZoneCount()
+	}
+	return 1
+}
+
+// ZoneSummaries returns per-zone merged views, nil for single-zone worlds.
+func (w *World) ZoneSummaries() []monitor.ZoneSummary {
+	if w.plane == nil {
+		return nil
+	}
+	return w.plane.ZoneSummaries()
+}
+
+// CrossZone returns the global allocator's counters (zero for single-zone
+// worlds).
+func (w *World) CrossZone() monitor.CrossZoneCounts {
+	if w.plane == nil {
+		return monitor.CrossZoneCounts{}
+	}
+	return w.plane.Cross()
+}
 
 // Recorder exposes the metrics recorder.
 func (w *World) Recorder() *metrics.Recorder { return w.recorder }
@@ -263,7 +346,7 @@ func (w *World) Recorder() *metrics.Recorder { return w.recorder }
 // AddService registers a microservice with its utilization target and load
 // pattern, and deploys its minimum replicas.
 func (w *World) AddService(spec workload.ServiceSpec, targetUtil float64, pattern loadgen.Pattern) error {
-	if err := w.monitor.AddService(spec, targetUtil); err != nil {
+	if err := w.ctl.AddService(spec, targetUtil); err != nil {
 		return err
 	}
 	rt := &serviceRuntime{spec: spec}
@@ -274,7 +357,7 @@ func (w *World) AddService(spec workload.ServiceSpec, targetUtil float64, patter
 	w.services = append(w.services, rt)
 	w.byName[spec.Name] = rt
 	w.ReplicaSeries[spec.Name] = &metrics.TimeSeries{Name: spec.Name + "-replicas"}
-	if err := w.monitor.DeployInitial(spec.Name, w.engine.Now()); err != nil {
+	if err := w.ctl.DeployInitial(spec.Name, w.engine.Now()); err != nil {
 		return err
 	}
 	return nil
@@ -283,7 +366,7 @@ func (w *World) AddService(spec workload.ServiceSpec, targetUtil float64, patter
 // DeployReplica pins one replica of service to a node with an explicit
 // allocation — the §III microbenchmarks use this instead of the autoscaler.
 func (w *World) DeployReplica(service, nodeID string, alloc resources.Vector) error {
-	return w.monitor.StartReplica(service, nodeID, alloc, w.engine.Now())
+	return w.ctl.StartReplica(service, nodeID, alloc, w.engine.Now())
 }
 
 // AddStressContainer places a stress contender (the paper's progrium-stress
@@ -356,7 +439,7 @@ func (w *World) route(req *workload.Request) {
 	}
 	req.ExtraLatency += w.cfg.BaseLatency
 	now := w.engine.Now()
-	w.replicaBuf = w.monitor.AppendReplicas(w.replicaBuf[:0], req.Service)
+	w.replicaBuf = w.ctl.AppendReplicas(w.replicaBuf[:0], req.Service)
 	target, err := w.lb.RouteAt(now, req, w.replicaBuf)
 	if err != nil {
 		if errors.Is(err, lb.ErrAllStarting) {
@@ -423,7 +506,7 @@ func (w *World) tick(e *sim.Engine) {
 	}
 	w.costs.ObserveMachines(active, dt)
 
-	w.monitor.Sample()
+	w.ctl.Sample()
 }
 
 // poll runs one Monitor decision period and records bookkeeping series.
@@ -440,10 +523,10 @@ func (w *World) poll(e *sim.Engine) {
 	} else {
 		if w.monitorDown {
 			w.monitorDown = false
-			w.monitor.Restart(now)
+			w.ctl.Restart(now)
 		}
-		w.monitor.Poll(now)
-		w.monitor.MaybeCheckpoint(now)
+		w.ctl.Poll(now)
+		w.ctl.MaybeCheckpoint(now)
 	}
 
 	var usedCPU, capCPU float64
@@ -457,7 +540,7 @@ func (w *World) poll(e *sim.Engine) {
 		w.UtilSeries.Append(now, usedCPU/capCPU)
 	}
 	for name, ts := range w.ReplicaSeries {
-		ts.Append(now, float64(w.monitor.ReplicaCount(name)))
+		ts.Append(now, float64(w.ctl.ReplicaCount(name)))
 	}
 
 	if w.journal != nil {
@@ -465,7 +548,7 @@ func (w *World) poll(e *sim.Engine) {
 		// artifact bytes are deterministic.
 		for _, rt := range w.services {
 			name := rt.spec.Name
-			w.replicaBuf = w.monitor.AppendReplicas(w.replicaBuf[:0], name)
+			w.replicaBuf = w.ctl.AppendReplicas(w.replicaBuf[:0], name)
 			replicas := w.replicaBuf
 			var cpuShares, cpuUsage, netMbps float64
 			for _, c := range replicas {
@@ -593,10 +676,16 @@ func (w *World) ScheduleNodeFailure(at time.Duration, nodeID string) error {
 		if err != nil {
 			return // already gone
 		}
+		if w.plane != nil {
+			// Mirror the physical removal into the owning zone's view so the
+			// zone arbiter sees the machine gone, just as the single monitor
+			// does through the shared cluster.
+			w.plane.NoteNodeRemoved(nodeID)
+		}
 		if !w.cfg.SelfHealing.Enabled {
 			// Legacy out-of-band notification. With self-healing on, the
 			// failure detector must discover the death through missed polls.
-			w.monitor.DetachNode(nodeID)
+			w.ctl.DetachNode(nodeID)
 		}
 		for _, r := range killed {
 			w.recorder.RecordFailure(r.Service, workload.FailureRemoval)
@@ -612,6 +701,6 @@ func (w *World) ScheduleNodeRecovery(at time.Duration, cfg cluster.NodeConfig) e
 		if err := w.cluster.AddNode(cfg); err != nil {
 			return // duplicate ID
 		}
-		w.monitor.AttachNode(w.cluster.Node(cfg.ID))
+		w.ctl.AttachNode(w.cluster.Node(cfg.ID))
 	})
 }

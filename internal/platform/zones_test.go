@@ -1,0 +1,163 @@
+package platform
+
+// Cross-zone conservation property test (the zoned control plane's ledger
+// integrity): under node churn, a partition and a monitor-crash window, the
+// replica ledgers summed across all zone arbiters must agree exactly with
+// the physical cluster — the same ground truth the unsharded monitor's
+// ledger is graded against — and the merged action/recovery counters must
+// balance the replica conservation equation.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"hyscale/internal/cluster"
+	"hyscale/internal/container"
+	"hyscale/internal/core"
+	"hyscale/internal/faults"
+	"hyscale/internal/loadgen"
+	"hyscale/internal/monitor"
+	"hyscale/internal/workload"
+)
+
+func zonedChurnWorld(t *testing.T, seed int64, zones int) *World {
+	t.Helper()
+	cfg := DefaultConfig(seed)
+	cfg.Nodes = 12
+	cfg.Zones = zones
+	cfg.SelfHealing = monitor.DefaultSelfHealing()
+	cfg.Faults = faults.Config{
+		Seed: seed,
+		Windows: []faults.Window{
+			{Kind: faults.KindPartition, Target: "node-2", From: 60 * time.Second, To: 90 * time.Second},
+			{Kind: faults.KindMonitorCrash, From: 120 * time.Second, To: 140 * time.Second},
+		},
+	}
+	w, err := New(cfg, core.NewHyScaleCPUMem(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		spec := workload.ServiceSpec{
+			Name: fmt.Sprintf("svc-%d", i), Kind: workload.KindCPUBound,
+			CPUPerRequest: 0.08, CPUOverheadPerRequest: 0.01, MemPerRequest: 2, BaselineMemMB: 200,
+			InitialReplicaCPU: 1, InitialReplicaMemMB: 512,
+			MinReplicas: 1, MaxReplicas: 4, Timeout: 30 * time.Second,
+		}
+		pattern := loadgen.Wave{Base: 10, Amplitude: 0.4, Period: 3 * time.Minute,
+			PhaseShift: time.Duration(i) * 20 * time.Second}
+		if err := w.AddService(spec, 0.5, pattern); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.ScheduleNodeFailure(50*time.Second, "node-5"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.ScheduleNodeRecovery(100*time.Second, cluster.DefaultNodeConfig("node-99")); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// liveReplicas counts non-removed containers of the service in the physical
+// cluster — the ground-truth ledger below any control plane.
+func liveReplicas(w *World, service string) int {
+	n := 0
+	for _, node := range w.Cluster().Nodes() {
+		for _, c := range node.Containers() {
+			if c.Service == service && c.State != container.StateRemoved {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func checkLedger(t *testing.T, w *World, label string) {
+	t.Helper()
+	ctl := w.Control()
+	totalPhysical := 0
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("svc-%d", i)
+		phys := liveReplicas(w, name)
+		totalPhysical += phys
+		if got := ctl.ReplicaCount(name); got != phys {
+			t.Errorf("%s: %s ledger has %d replicas, physical cluster has %d", label, name, got, phys)
+		}
+	}
+	// Conservation: every replica ever started is now live, scaled in, or
+	// lost to a dead node — with re-adopted survivors returned and stale
+	// drains (counted in both ScaleIns and ReplicasLost) added back.
+	c, r := ctl.Counts(), ctl.Recovery()
+	balance := int(c.ScaleOuts) - int(c.ScaleIns) - int(r.ReplicasLost) + int(r.Readopted) + int(r.StaleDrained)
+	if balance != totalPhysical {
+		t.Errorf("%s: ledger balance %d (scaleOuts %d - scaleIns %d - lost %d + readopted %d + staleDrained %d) != %d live replicas",
+			label, balance, c.ScaleOuts, c.ScaleIns, r.ReplicasLost, r.Readopted, r.StaleDrained, totalPhysical)
+	}
+	if c.ScaleOuts == 0 {
+		t.Errorf("%s: no scale-outs recorded — workload misconfigured", label)
+	}
+	// Zoned runs: ownership must be exclusive and exhaustive — the per-zone
+	// replica sums cover the physical cluster exactly once.
+	if p := w.Plane(); p != nil {
+		zoneTotal := 0
+		for _, zs := range p.ZoneSummaries() {
+			zoneTotal += zs.Replicas
+		}
+		if zoneTotal != totalPhysical {
+			t.Errorf("%s: zone arbiters own %d replicas, physical cluster has %d", label, zoneTotal, totalPhysical)
+		}
+	}
+}
+
+func TestZonedConservationUnderChurnAndFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	for _, seed := range []int64{3, 17} {
+		// Run well past the last fault window (crash ends at 140s) so limbo
+		// replicas resolve, reconciliation drains, and the ledgers quiesce.
+		zoned := zonedChurnWorld(t, seed, 3)
+		if err := zoned.Run(4 * time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		checkLedger(t, zoned, fmt.Sprintf("seed %d zones=3", seed))
+		if zoned.Control().Recovery().DeclaredDead == 0 {
+			t.Errorf("seed %d: churn never tripped the failure detector", seed)
+		}
+
+		// The unsharded control plane over the identical scenario must honour
+		// the same ledger identities — the reference the satellite names.
+		flat := zonedChurnWorld(t, seed, 1)
+		if err := flat.Run(4 * time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		checkLedger(t, flat, fmt.Sprintf("seed %d zones=1", seed))
+	}
+}
+
+func TestZonedRunIsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	run := func() ([]monitor.ZoneSummary, monitor.ActionCounts, uint64) {
+		w := zonedChurnWorld(t, 9, 3)
+		if err := w.Run(3 * time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		return w.ZoneSummaries(), w.Control().Counts(), w.Summary().Requests
+	}
+	z1, c1, r1 := run()
+	z2, c2, r2 := run()
+	if !reflect.DeepEqual(z1, z2) {
+		t.Fatalf("zone summaries differ between identical runs:\n%v\n%v", z1, z2)
+	}
+	if c1 != c2 {
+		t.Fatalf("action counts differ: %v vs %v", c1, c2)
+	}
+	if r1 != r2 {
+		t.Fatalf("request totals differ: %d vs %d", r1, r2)
+	}
+}

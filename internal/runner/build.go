@@ -44,6 +44,13 @@ type Result struct {
 	// the spec configured a call graph).
 	Resilience *resilience.Counters `json:"resilience,omitempty"`
 
+	// Zones holds per-zone merged ledgers when the spec ran a zoned control
+	// plane (Platform.Zones > 1); nil for single-zone runs.
+	Zones []monitor.ZoneSummary `json:"zones,omitempty"`
+
+	// CrossZone holds the global allocator's counters for zoned runs.
+	CrossZone *monitor.CrossZoneCounts `json:"crossZone,omitempty"`
+
 	// Extra holds hook-harvested measurements (e.g. "uptimePercent" from the
 	// chaos probe).
 	Extra map[string]float64 `json:"extra,omitempty"`
@@ -155,18 +162,24 @@ func Run(spec RunSpec) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("%s: %w", spec.Name, err)
 	}
+	ctl := w.Control()
 	res := Result{
 		Spec:           spec,
 		Summary:        w.Summary(),
-		Actions:        w.Monitor().Counts(),
-		Recovery:       w.Monitor().Recovery(),
+		Actions:        ctl.Counts(),
+		Recovery:       ctl.Recovery(),
 		Cost:           w.CostReport(),
 		ConnFail:       w.ConnFailures(),
 		MonitorCrashes: w.MonitorCrashes(),
-		PendingRetries: w.Monitor().PendingRetries(),
+		PendingRetries: ctl.PendingRetries(),
 		ClampedEvents:  w.ClampedEvents(),
 		World:          w,
 		Journal:        w.Journal(),
+	}
+	if zs := w.ZoneSummaries(); zs != nil {
+		res.Zones = zs
+		cz := w.CrossZone()
+		res.CrossZone = &cz
 	}
 	if w.HasCallGraph() {
 		cs := w.CascadeStats()

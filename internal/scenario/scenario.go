@@ -141,6 +141,35 @@ type Service struct {
 
 	TargetUtil float64 `json:"targetUtil,omitempty"`
 	Load       Load    `json:"load"`
+
+	// Count expands this entry into count services named name-000…name-NNN,
+	// with each clone's periodic load phase-staggered across one period so
+	// the fleet does not scale in lock-step. Zero or one declares a single
+	// service. Large-cluster scenarios use this to declare hundreds of
+	// services in a few lines.
+	Count int `json:"count,omitempty"`
+}
+
+// expandServices returns the service list with every Count > 1 entry
+// replaced by its clones.
+func expandServices(services []Service) []Service {
+	out := make([]Service, 0, len(services))
+	for _, s := range services {
+		if s.Count <= 1 {
+			out = append(out, s)
+			continue
+		}
+		for i := 0; i < s.Count; i++ {
+			c := s
+			c.Name = fmt.Sprintf("%s-%03d", s.Name, i)
+			c.Count = 0
+			if p := time.Duration(s.Load.Period); p > 0 {
+				c.Load.Phase = Duration(time.Duration(s.Load.Phase) + p*time.Duration(i)/time.Duration(s.Count))
+			}
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // Spec materialises the service description with defaults filled in.
@@ -421,6 +450,20 @@ func (s *SelfHealing) Config() monitor.SelfHealing {
 	}
 }
 
+// Zones declares a sharded control plane: the node pool is partitioned into
+// Count zones, each governed by its own arbiter, under a thin global
+// allocator that assigns services to zones and leases idle machines across
+// zone boundaries when a zone runs out of capacity. Omitted (or count 1)
+// keeps the classic single-monitor control plane.
+type Zones struct {
+	// Count is the number of zones (≥ 1; clamped to the node count).
+	Count int `json:"count"`
+	// LeaseHeadroomCPU is the per-node free-CPU threshold below which a zone
+	// is considered starved and proactively leases an idle machine
+	// (default 1 CPU).
+	LeaseHeadroomCPU float64 `json:"leaseHeadroomCPU,omitempty"`
+}
+
 // Scenario is a complete experiment description.
 type Scenario struct {
 	Seed      int64   `json:"seed"`
@@ -434,6 +477,10 @@ type Scenario struct {
 	MonitorPeriod Duration `json:"monitorPeriod,omitempty"`
 	// Duration is the simulated horizon.
 	Duration Duration `json:"duration"`
+
+	// Zones shards the control plane into per-zone arbiters (nil or count 1
+	// keeps the single central monitor).
+	Zones *Zones `json:"zones,omitempty"`
 
 	Services []Service     `json:"services"`
 	Failures []NodeFailure `json:"failures,omitempty"`
@@ -479,8 +526,21 @@ func (sc *Scenario) Validate() error {
 	if len(sc.Services) == 0 {
 		return fmt.Errorf("scenario: at least one service required")
 	}
-	seen := make(map[string]bool)
+	if sc.Zones != nil {
+		if sc.Zones.Count < 1 {
+			return fmt.Errorf("scenario: zones.count must be >= 1, got %d", sc.Zones.Count)
+		}
+		if sc.Zones.LeaseHeadroomCPU < 0 {
+			return fmt.Errorf("scenario: zones.leaseHeadroomCPU must be >= 0")
+		}
+	}
 	for _, s := range sc.Services {
+		if s.Count < 0 {
+			return fmt.Errorf("scenario: service %q: count must be >= 0", s.Name)
+		}
+	}
+	seen := make(map[string]bool)
+	for _, s := range sc.ExpandedServices() {
 		if s.Name == "" {
 			return fmt.Errorf("scenario: service with empty name")
 		}
@@ -525,6 +585,10 @@ func (sc *Scenario) Compile() (runner.RunSpec, error) {
 	if sc.MonitorPeriod > 0 {
 		cfg.MonitorPeriod = time.Duration(sc.MonitorPeriod)
 	}
+	if sc.Zones != nil {
+		cfg.Zones = sc.Zones.Count
+		cfg.ZoneLeaseHeadroomCPU = sc.Zones.LeaseHeadroomCPU
+	}
 	cfg.Faults = sc.Faults.Config(sc.Seed)
 	if sc.Faults != nil && sc.Faults.Hardening != nil {
 		cfg.HardeningOff = !*sc.Faults.Hardening
@@ -542,7 +606,7 @@ func (sc *Scenario) Compile() (runner.RunSpec, error) {
 		Algorithm: sc.Algorithm,
 		Duration:  time.Duration(sc.Duration),
 	}
-	for _, s := range sc.Services {
+	for _, s := range sc.ExpandedServices() {
 		svc, err := s.Spec()
 		if err != nil {
 			return runner.RunSpec{}, err
@@ -565,6 +629,12 @@ func (sc *Scenario) Compile() (runner.RunSpec, error) {
 		})
 	}
 	return spec, nil
+}
+
+// ExpandedServices returns the declared services with every count-expanded
+// entry replaced by its clones — the list Compile actually deploys.
+func (sc *Scenario) ExpandedServices() []Service {
+	return expandServices(sc.Services)
 }
 
 // Build materialises the scenario into a runnable World.

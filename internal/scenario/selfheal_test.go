@@ -99,6 +99,24 @@ func TestShippedScenarioFilesParse(t *testing.T) {
 		}
 		if err := sc.Validate(); err != nil {
 			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if filepath.Base(path) == "datacenter-zones.json" {
+			if sc.Zones == nil || sc.Zones.Count != 8 {
+				t.Errorf("%s: expected a zones block with count 8, got %+v", path, sc.Zones)
+			}
+			if got := len(sc.ExpandedServices()); got != 500 {
+				t.Errorf("%s: expands to %d services, want 500", path, got)
+			}
+			if sc.Nodes != 1000 {
+				t.Errorf("%s: nodes = %d, want 1000", path, sc.Nodes)
+			}
+			spec, err := sc.Compile()
+			if err != nil {
+				t.Errorf("%s: compile: %v", path, err)
+			} else if spec.Platform.Zones != 8 {
+				t.Errorf("%s: compiled Platform.Zones = %d, want 8", path, spec.Platform.Zones)
+			}
 		}
 	}
 }

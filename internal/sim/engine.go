@@ -48,6 +48,17 @@ type Engine struct {
 	rng     *rand.Rand
 	stopped bool
 	clamped uint64
+
+	// lanes, when non-nil, shards the event queue: an event with sequence
+	// number s lives in lane s % len(lanes), and popping takes the (at, seq)
+	// minimum across lane roots. Because (at, seq) is a total order, the pop
+	// sequence is identical to the single-heap engine — sharding is purely a
+	// cost structure (each sift-down runs over a heap 1/k the size, which is
+	// what lets zoned datacenter runs keep heap maintenance flat as event
+	// volume grows). nil (the default) keeps the original single heap.
+	lanes [][]scheduledEvent
+	// pending counts queued events across queue and lanes.
+	pending int
 }
 
 // ErrStopped is returned by Run when Stop was called before the horizon.
@@ -66,50 +77,121 @@ func (e *Engine) Now() time.Duration { return e.now }
 // draw all randomness from here to stay reproducible.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// less orders the heap by (at, seq): earliest first, FIFO within an instant.
-func (e *Engine) less(i, j int) bool {
-	if e.queue[i].at != e.queue[j].at {
-		return e.queue[i].at < e.queue[j].at
+// eventLess orders events by (at, seq): earliest first, FIFO within an
+// instant. seq is unique, so this is a total order — the property that makes
+// the sharded lanes pop in exactly the single-heap sequence.
+func eventLess(a, b scheduledEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return e.queue[i].seq < e.queue[j].seq
+	return a.seq < b.seq
 }
 
-func (e *Engine) push(ev scheduledEvent) {
-	e.queue = append(e.queue, ev)
-	i := len(e.queue) - 1
+// pushHeap inserts ev into the binary min-heap backed by *q.
+func pushHeap(q *[]scheduledEvent, ev scheduledEvent) {
+	*q = append(*q, ev)
+	h := *q
+	i := len(h) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !e.less(i, parent) {
+		if !eventLess(h[i], h[parent]) {
 			break
 		}
-		e.queue[i], e.queue[parent] = e.queue[parent], e.queue[i]
+		h[i], h[parent] = h[parent], h[i]
 		i = parent
 	}
 }
 
-func (e *Engine) pop() scheduledEvent {
-	root := e.queue[0]
-	n := len(e.queue) - 1
-	e.queue[0] = e.queue[n]
-	e.queue[n] = scheduledEvent{} // drop the closure so GC can reclaim it
-	e.queue = e.queue[:n]
+// popHeap removes and returns the minimum of the heap backed by *q.
+func popHeap(q *[]scheduledEvent) scheduledEvent {
+	h := *q
+	root := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = scheduledEvent{} // drop the closure so GC can reclaim it
+	h = h[:n]
+	*q = h
 	i := 0
 	for {
 		left, right := 2*i+1, 2*i+2
 		smallest := i
-		if left < n && e.less(left, smallest) {
+		if left < n && eventLess(h[left], h[smallest]) {
 			smallest = left
 		}
-		if right < n && e.less(right, smallest) {
+		if right < n && eventLess(h[right], h[smallest]) {
 			smallest = right
 		}
 		if smallest == i {
 			break
 		}
-		e.queue[i], e.queue[smallest] = e.queue[smallest], e.queue[i]
+		h[i], h[smallest] = h[smallest], h[i]
 		i = smallest
 	}
 	return root
+}
+
+// SetShards splits the event queue into k independent lanes (see the Engine
+// doc). k <= 1 keeps the single heap. It must be called before any event is
+// scheduled; changing the lane layout with events in flight would scatter
+// them.
+func (e *Engine) SetShards(k int) error {
+	if e.pending > 0 {
+		return errors.New("sim: SetShards with events pending")
+	}
+	if k <= 1 {
+		e.lanes = nil
+		return nil
+	}
+	e.lanes = make([][]scheduledEvent, k)
+	return nil
+}
+
+// Shards returns the number of event lanes (1 for the single-heap default).
+func (e *Engine) Shards() int {
+	if e.lanes == nil {
+		return 1
+	}
+	return len(e.lanes)
+}
+
+func (e *Engine) push(ev scheduledEvent) {
+	e.pending++
+	if e.lanes != nil {
+		pushHeap(&e.lanes[ev.seq%uint64(len(e.lanes))], ev)
+		return
+	}
+	pushHeap(&e.queue, ev)
+}
+
+// headLane returns the index of the lane whose root is the global (at, seq)
+// minimum. Callers guarantee at least one event is pending.
+func (e *Engine) headLane() int {
+	best := -1
+	for i := range e.lanes {
+		if len(e.lanes[i]) == 0 {
+			continue
+		}
+		if best == -1 || eventLess(e.lanes[i][0], e.lanes[best][0]) {
+			best = i
+		}
+	}
+	return best
+}
+
+// head returns the next event without removing it.
+func (e *Engine) head() *scheduledEvent {
+	if e.lanes != nil {
+		return &e.lanes[e.headLane()][0]
+	}
+	return &e.queue[0]
+}
+
+func (e *Engine) pop() scheduledEvent {
+	e.pending--
+	if e.lanes != nil {
+		return popHeap(&e.lanes[e.headLane()])
+	}
+	return popHeap(&e.queue)
 }
 
 // Schedule runs fn at the absolute simulated time at. Scheduling in the past
@@ -197,8 +279,8 @@ func (e *Engine) Stop() { e.stopped = true }
 // returns ErrStopped if Stop was called, otherwise nil.
 func (e *Engine) Run(horizon time.Duration) error {
 	e.stopped = false
-	for len(e.queue) > 0 {
-		if e.queue[0].at > horizon {
+	for e.pending > 0 {
+		if e.head().at > horizon {
 			// Leave future events queued; advance the clock to the horizon so
 			// repeated Run calls see a consistent notion of "now".
 			e.now = horizon
@@ -234,4 +316,4 @@ func (e *Engine) Run(horizon time.Duration) error {
 
 // Pending returns the number of queued events, mainly for tests and
 // diagnostics.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.pending }

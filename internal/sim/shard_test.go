@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestShardedEngineEquivalence drives a randomized mix of single events,
+// batches, periodic tasks and follow-up scheduling through engines with 1, 2,
+// 4 and 7 lanes and requires the firing order to be identical. (at, seq) is a
+// total order, so the lane partition must be invisible.
+func TestShardedEngineEquivalence(t *testing.T) {
+	trace := func(shards int) []string {
+		e := New(42)
+		if err := e.SetShards(shards); err != nil {
+			t.Fatalf("SetShards(%d): %v", shards, err)
+		}
+		var log []string
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 200; i++ {
+			i := i
+			at := time.Duration(rng.Intn(50)) * time.Millisecond
+			switch i % 3 {
+			case 0:
+				_ = e.Schedule(at, func(e *Engine) {
+					log = append(log, fmt.Sprintf("ev%d@%v", i, e.Now()))
+					if i%10 == 0 {
+						// Follow-up events exercise scheduling mid-run.
+						e.ScheduleAfter(3*time.Millisecond, func(e *Engine) {
+							log = append(log, fmt.Sprintf("follow%d@%v", i, e.Now()))
+						})
+					}
+				})
+			case 1:
+				_ = e.ScheduleBatch(at, i, 3, func(e *Engine, idx int) {
+					log = append(log, fmt.Sprintf("batch%d/%d@%v", i, idx, e.Now()))
+				})
+			default:
+				_ = e.Schedule(at, func(e *Engine) {
+					log = append(log, fmt.Sprintf("ev%d@%v", i, e.Now()))
+				})
+			}
+		}
+		_ = e.SchedulePeriodic(5*time.Millisecond, 10*time.Millisecond, func(e *Engine) {
+			log = append(log, fmt.Sprintf("tick@%v", e.Now()))
+		})
+		if err := e.Run(60 * time.Millisecond); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return log
+	}
+
+	want := trace(1)
+	if len(want) < 200 {
+		t.Fatalf("trace too short: %d entries", len(want))
+	}
+	for _, k := range []int{2, 4, 7} {
+		got := trace(k)
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: %d events, want %d", k, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d: event %d = %q, want %q", k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSetShardsRejectsPending guards the "no relayout with events queued"
+// contract, and that a stopped-then-resumed run keeps working on lanes.
+func TestSetShardsRejectsPending(t *testing.T) {
+	e := New(1)
+	_ = e.Schedule(time.Millisecond, func(*Engine) {})
+	if err := e.SetShards(4); err == nil {
+		t.Fatal("SetShards with pending events should fail")
+	}
+
+	e2 := New(1)
+	if err := e2.SetShards(3); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	for i := 0; i < 10; i++ {
+		at := time.Duration(i) * time.Millisecond
+		_ = e2.Schedule(at, func(e *Engine) {
+			fired++
+			if fired == 5 {
+				e.Stop()
+			}
+		})
+	}
+	if err := e2.Run(time.Second); err != ErrStopped {
+		t.Fatalf("Run = %v, want ErrStopped", err)
+	}
+	if err := e2.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 10 {
+		t.Fatalf("fired %d events across resumed runs, want 10", fired)
+	}
+	if e2.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain", e2.Pending())
+	}
+}
