@@ -100,7 +100,7 @@ func realMain() int {
 		"fig2", "mem", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"ablation", "monitorperiod", "placement", "churn", "stateful",
 		"fig3sweep", "targetutil", "hetero", "predictive", "lbpolicy",
-		"chaos", "recovery", "cascade",
+		"chaos", "recovery", "cascade", "manager",
 	}
 	if !*all {
 		ids = strings.Split(*exp, ",")
@@ -294,6 +294,12 @@ func run(id string, opts experiments.Options) ([]*experiments.Table, error) {
 		return []*experiments.Table{r.Table()}, nil
 	case "cascade":
 		r, err := experiments.RunCascade(opts)
+		if err != nil {
+			return nil, err
+		}
+		return []*experiments.Table{r.Table()}, nil
+	case "manager":
+		r, err := experiments.RunManager(opts)
 		if err != nil {
 			return nil, err
 		}

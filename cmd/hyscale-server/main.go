@@ -26,7 +26,7 @@ import (
 func main() {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
-		algo     = flag.String("algo", "hybridmem", "autoscaler: kubernetes|network|hybrid|hybridmem")
+		algo     = flag.String("algo", "hybridmem", "autoscaler: kubernetes|network|hybrid|hybridmem|manager|manager-cost (see docs/ALGORITHMS.md)")
 		kind     = flag.String("kind", "cpu", "service kind: cpu|mem|net|mixed")
 		services = flag.Int("services", 5, "number of microservices")
 		nodes    = flag.Int("nodes", 19, "worker nodes")

@@ -8,6 +8,9 @@
 //
 //	hyscale-sim -algo hybridmem -kind mixed -services 10 -duration 20m
 //	hyscale-sim -algo kubernetes,hybrid,hybridmem -parallel 3 -kind cpu -rps 20 -load burst
+//	hyscale-sim -algo manager-cost,hybridmem -kind mixed -load burst
+//
+// See docs/ALGORITHMS.md for every accepted -algo spelling.
 package main
 
 import (
@@ -26,7 +29,7 @@ import (
 
 func main() {
 	var (
-		algo     = flag.String("algo", "hybridmem", "autoscaler(s), comma-separated: kubernetes|network|hybrid|hybridmem|none")
+		algo     = flag.String("algo", "hybridmem", "autoscaler(s), comma-separated: kubernetes|network|hybrid|hybridmem|manager|manager-cost|none (see docs/ALGORITHMS.md)")
 		kind     = flag.String("kind", "cpu", "service kind: cpu|mem|net|mixed")
 		services = flag.Int("services", 5, "number of microservices")
 		nodes    = flag.Int("nodes", 19, "worker nodes")

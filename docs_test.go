@@ -9,7 +9,7 @@ import (
 )
 
 // docFiles are the repository documents whose links CI verifies.
-var docFiles = []string{"README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md", "CHANGES.md"}
+var docFiles = []string{"README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md", "CHANGES.md", "docs/ALGORITHMS.md"}
 
 var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
 
@@ -38,7 +38,10 @@ func TestMarkdownLinks(t *testing.T) {
 			if target == "" {
 				continue
 			}
-			if _, err := os.Stat(filepath.FromSlash(target)); err != nil {
+			// Relative links resolve against the document's own directory,
+			// the way GitHub renders them.
+			resolved := filepath.Join(filepath.Dir(doc), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
 				t.Errorf("%s: broken link %q: %v", doc, m[0], err)
 			}
 		}

@@ -45,6 +45,7 @@ import (
 	"hyscale/internal/platform"
 	"hyscale/internal/resilience"
 	"hyscale/internal/runner"
+	"hyscale/internal/scalermgr"
 	"hyscale/internal/workload"
 )
 
@@ -61,6 +62,14 @@ const (
 	AlgoHyScaleCPU AlgorithmName = "hybrid"
 	// AlgoHyScaleCPUMem is the CPU+memory hybrid algorithm (§IV-B2).
 	AlgoHyScaleCPUMem AlgorithmName = "hybridmem"
+	// AlgoManager is the multi-metric scaler manager: CPU, memory, network
+	// and queue-depth scalers over stable/burst sliding windows, merged
+	// max-wins (see internal/scalermgr).
+	AlgoManager AlgorithmName = "manager"
+	// AlgoManagerCost is the manager with the cost-optimal allocator on top:
+	// optimizer → fallback → hold decision hierarchy, binpack placement,
+	// drain-preferring scale-in and retention-aware scale-to-zero.
+	AlgoManagerCost AlgorithmName = "manager-cost"
 	// AlgoNone disables autoscaling (fixed allocations).
 	AlgoNone AlgorithmName = "none"
 )
@@ -133,6 +142,11 @@ type SimConfig struct {
 	// per-edge circuit breakers, budgeted retries, deadline propagation and
 	// adaptive load shedding. The zero value disables all of them.
 	Resilience ResilienceConfig
+	// Manager tunes the AlgoManager / AlgoManagerCost algorithms — sliding
+	// window widths, per-scaler weights and targets, merge policy, and the
+	// cost allocator's freshness/retention knobs. Nil means scalermgr
+	// defaults; ignored by every other algorithm.
+	Manager *ManagerConfig
 }
 
 // FaultConfig re-exports the fault-injection configuration for callers of
@@ -288,6 +302,28 @@ type CallGraph = workload.CallGraph
 // CallEdge is one dependency edge of a CallGraph.
 type CallEdge = workload.CallEdge
 
+// ManagerConfig tunes the multi-metric scaler manager (AlgoManager /
+// AlgoManagerCost): window widths, per-scaler weights/targets, the merge
+// policy and the cost allocator's knobs.
+type ManagerConfig = scalermgr.Config
+
+// ManagerScalerConfig configures one scaler inside the manager.
+type ManagerScalerConfig = scalermgr.ScalerConfig
+
+// ManagerServiceTargets carries one service's SLO/cost objectives for the
+// manager's cost-optimal allocator.
+type ManagerServiceTargets = scalermgr.ServiceTargets
+
+// ManagerRecommendation is one scaler's latest per-service recommendation,
+// surfaced for observability.
+type ManagerRecommendation = scalermgr.Recommendation
+
+// ManagerRecommendations returns the multi-metric manager's latest
+// per-scaler recommendations, nil when another algorithm is running.
+func (s *Simulation) ManagerRecommendations() []ManagerRecommendation {
+	return s.world.ManagerRecommendations()
+}
+
 // ResilienceConfig enables and tunes the cascading-failure defenses:
 // per-edge circuit breakers, budgeted retries, deadline propagation and
 // adaptive load shedding. The zero value disables all of them.
@@ -408,6 +444,7 @@ func NewRunSpec(name string, cfg SimConfig, duration time.Duration) RunSpec {
 		Seed:      cfg.Seed,
 		Platform:  cfg.platformConfig(),
 		Algorithm: string(cfg.algorithmName()),
+		Manager:   cfg.Manager,
 		Duration:  duration,
 	}
 }

@@ -173,6 +173,22 @@ func (k *Kubernetes) removeReplicas(svc ServiceStats, n int, plan *Plan) {
 	}
 }
 
+// AvailableByNode copies the advertised availability into a working map a
+// planner can decrement as it tentatively places replicas. External
+// algorithm packages (internal/scalermgr) share this ledger shape so their
+// placements compose with the heuristics here.
+func AvailableByNode(snap Snapshot) map[string]resources.Vector {
+	return availableByNode(snap)
+}
+
+// PickNodeFor exposes the shared placement heuristic: the best node that
+// fits alloc under the given placement policy, decrementable via the avail
+// ledger. Empty string means nothing fits.
+func PickNodeFor(nodes []NodeStats, avail map[string]resources.Vector, alloc resources.Vector,
+	excludeService string, placement Placement) string {
+	return pickNode(nodes, avail, alloc, excludeService, placement)
+}
+
 // availableByNode copies the advertised availability into a working map the
 // planner can decrement as it tentatively places replicas.
 func availableByNode(snap Snapshot) map[string]resources.Vector {

@@ -51,6 +51,10 @@ type ReplicaStats struct {
 	Usage resources.Vector
 	// Routable reports whether the replica is Running (not still starting).
 	Routable bool
+	// Inflight is the number of requests resident in the replica (queued plus
+	// executing) at snapshot time — the queue-depth signal multi-metric
+	// scalers read.
+	Inflight int
 }
 
 // ServiceStats couples a service's configuration with its live replicas,

@@ -13,6 +13,7 @@ import (
 	"hyscale/internal/monitor"
 	"hyscale/internal/platform"
 	"hyscale/internal/runner"
+	"hyscale/internal/scalermgr"
 	"hyscale/internal/workload"
 )
 
@@ -137,6 +138,9 @@ type macroRow struct {
 	// hooks names registered runner hooks (world mutations a declarative
 	// field cannot express, e.g. the heterogeneous node swap).
 	hooks []string
+	// manager carries the multi-metric manager configuration for
+	// "manager"/"manager-cost" rows; nil rows use defaults.
+	manager *scalermgr.Config
 }
 
 func (r macroRow) rowLabel() string {
@@ -166,6 +170,7 @@ func (r macroRow) compile(name string, services []serviceLoad, opts Options) run
 		Platform:       cfg,
 		Algorithm:      r.algorithm,
 		AlgoConfig:     &algoCfg,
+		Manager:        r.manager,
 		Duration:       macroDuration(opts),
 		NodeFailures:   r.nodeFailures,
 		NodeRecoveries: r.nodeRecoveries,

@@ -542,6 +542,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "# TYPE hyscale_cross_zone_lease_failures_total counter\nhyscale_cross_zone_lease_failures_total %d\n", cz.LeaseFailures)
 	}
 
+	// Manager series only exist when the multi-metric scaler manager is the
+	// running algorithm, keeping every other exposition byte-identical.
+	if recs := s.world.ManagerRecommendations(); recs != nil {
+		fmt.Fprintf(w, "# TYPE hyscale_manager_scaler_desired gauge\n")
+		for _, r := range recs {
+			fmt.Fprintf(w, "hyscale_manager_scaler_desired{service=%q,scaler=%q} %d\n", r.Service, r.Scaler, r.Desired)
+		}
+		fmt.Fprintf(w, "# TYPE hyscale_manager_merged_desired gauge\n")
+		last := ""
+		for _, r := range recs {
+			if r.Service == last {
+				continue
+			}
+			last = r.Service
+			fmt.Fprintf(w, "hyscale_manager_merged_desired{service=%q} %d\n", r.Service, r.Merged)
+		}
+	}
+
 	cf := s.world.ConnFailures()
 	fmt.Fprintf(w, "# TYPE hyscale_connection_failures_total counter\n")
 	fmt.Fprintf(w, "hyscale_connection_failures_total{cause=\"starting\"} %d\n", cf.Starting)

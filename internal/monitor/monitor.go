@@ -589,6 +589,7 @@ func (m *Monitor) Snapshot(now time.Duration) core.Snapshot {
 				Requested:   cs.Requested,
 				Usage:       cs.Usage,
 				Routable:    cs.Routable,
+				Inflight:    cs.Inflight,
 			})
 		}
 		if len(live) != len(st.replicaIDs) {

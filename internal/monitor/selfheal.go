@@ -281,6 +281,7 @@ func (m *Monitor) lastKnownReplica(id, home string, st *serviceState) core.Repli
 				rs.Requested = cs.Requested
 				rs.Usage = cs.Usage
 				rs.Routable = cs.Routable
+				rs.Inflight = cs.Inflight
 				break
 			}
 		}

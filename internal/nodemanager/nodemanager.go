@@ -26,6 +26,9 @@ type ContainerStats struct {
 	Usage resources.Vector
 	// Routable reports whether the container is Running.
 	Routable bool
+	// Inflight is the number of requests resident in the container (queued
+	// plus executing) at report time — the queue-depth signal.
+	Inflight int
 }
 
 // Report is one NM's answer to a Monitor stats query.
@@ -104,6 +107,7 @@ func (m *Manager) Report() Report {
 			Requested: c.Alloc,
 			Usage:     usage,
 			Routable:  c.Routable(),
+			Inflight:  c.Inflight(),
 		})
 	}
 	rep.Containers = m.containers

@@ -80,6 +80,12 @@ const (
 	EventBreakerClose    EventKind = "breaker-close"
 )
 
+// EventScalerRecommend is emitted by the multi-metric scaler manager
+// whenever its merged recommendation differs from a service's current
+// replica count. Event.Detail carries the per-scaler breakdown
+// ("service=api merged=5 current=3 cpu=5 memory=1 net=2 queue=1").
+const EventScalerRecommend EventKind = "scaler-recommend"
+
 // Event is one self-healing occurrence: a detector transition, a reconcile
 // step, or a monitor restart.
 type Event struct {

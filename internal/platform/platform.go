@@ -21,6 +21,7 @@ import (
 	"hyscale/internal/obs"
 	"hyscale/internal/resilience"
 	"hyscale/internal/resources"
+	"hyscale/internal/scalermgr"
 	"hyscale/internal/sim"
 	"hyscale/internal/workload"
 )
@@ -140,6 +141,10 @@ type World struct {
 	monitor *monitor.Monitor
 	plane   *monitor.Plane
 	lb      *lb.Balancer
+	// algo is the algorithm instance driving the control plane, kept so
+	// algorithm-specific observability (the scaler manager's per-scaler
+	// recommendations) can be surfaced without re-plumbing the monitor.
+	algo core.Algorithm
 
 	services []*serviceRuntime
 	byName   map[string]*serviceRuntime
@@ -228,6 +233,23 @@ func New(cfg Config, algo core.Algorithm) (*World, error) {
 	if cfg.Observe {
 		w.journal = obs.NewJournal()
 	}
+	w.algo = algo
+	// Multi-metric manager observability: a structural assertion (rather
+	// than a scalermgr import in the hot path types) keeps non-manager runs
+	// byte-identical — the observer fires only under Observe, and
+	// ManagerRecommendations returns nil for every other algorithm.
+	if cfg.Observe {
+		if mgr, ok := algo.(recommendObservable); ok {
+			mgr.SetRecommendObserver(func(now time.Duration, service, detail string) {
+				w.journal.Event(obs.Event{
+					At:      now,
+					Kind:    obs.EventScalerRecommend,
+					Service: service,
+					Detail:  detail,
+				})
+			})
+		}
+	}
 	onRemoval := func(r *workload.Request) {
 		if w.graph != nil {
 			w.graph.onRemoval(r)
@@ -279,6 +301,25 @@ func New(cfg Config, algo core.Algorithm) (*World, error) {
 		}
 	}
 	return w, nil
+}
+
+// recommendObservable is the structural face of the scaler manager's
+// observer hook (scalermgr.Manager implements it); asserting it here keeps
+// the wiring independent of which algorithm the world runs.
+type recommendObservable interface {
+	SetRecommendObserver(func(at time.Duration, service, detail string))
+}
+
+// ManagerRecommendations returns the multi-metric scaler manager's latest
+// per-scaler recommendations, and nil when any other algorithm drives the
+// world — callers (httpapi) emit manager metrics only when non-nil.
+func (w *World) ManagerRecommendations() []scalermgr.Recommendation {
+	if mgr, ok := w.algo.(interface {
+		Recommendations() []scalermgr.Recommendation
+	}); ok {
+		return mgr.Recommendations()
+	}
+	return nil
 }
 
 // noopAlgorithm never scales; it stands in when experiments drive

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"hyscale/internal/core"
+	"hyscale/internal/scalermgr"
 )
 
 // PredictiveHorizon is the extrapolation window the "-predictive" wrapper
@@ -16,14 +17,23 @@ const PredictiveHorizon = 5 * time.Second
 // name-to-algorithm mapping for the repository — experiments, scenarios and
 // the facade all resolve through it. Ablation variants are spelled
 // "<base>-noreclaim", "<base>-vertical-only" and "<base>-horizontal-only";
-// the "-predictive" suffix composes with any spelling. Empty and "none"
-// return a nil algorithm (no autoscaling).
+// the "-predictive" suffix composes with any spelling. The multi-metric
+// manager is "manager", its cost-optimal allocator "manager-cost" (default
+// scalermgr configuration; use NewAlgorithmManaged to tune it). Empty and
+// "none" return a nil algorithm (no autoscaling).
 func NewAlgorithm(name string, cfg core.Config) (core.Algorithm, error) {
+	return NewAlgorithmManaged(name, cfg, nil)
+}
+
+// NewAlgorithmManaged is NewAlgorithm with an optional scalermgr
+// configuration for the "manager" family (nil means defaults; ignored by
+// every other algorithm).
+func NewAlgorithmManaged(name string, cfg core.Config, mgr *scalermgr.Config) (core.Algorithm, error) {
 	if name == "" || name == "none" {
 		return nil, nil
 	}
 	if inner, ok := strings.CutSuffix(name, "-predictive"); ok {
-		algo, err := NewAlgorithm(inner, cfg)
+		algo, err := NewAlgorithmManaged(inner, cfg, mgr)
 		if err != nil {
 			return nil, err
 		}
@@ -33,6 +43,20 @@ func NewAlgorithm(name string, cfg core.Config) (core.Algorithm, error) {
 		return core.NewPredictive(algo, PredictiveHorizon), nil
 	}
 	base, variant, _ := strings.Cut(name, "-")
+	if base == "manager" {
+		var mcfg scalermgr.Config
+		if mgr != nil {
+			mcfg = *mgr
+		}
+		switch variant {
+		case "":
+			return scalermgr.New(cfg, mcfg, false)
+		case "cost":
+			return scalermgr.New(cfg, mcfg, true)
+		default:
+			return nil, fmt.Errorf("runner: unknown manager variant %q", name)
+		}
+	}
 	opts := core.HyScaleOptions{}
 	switch variant {
 	case "":

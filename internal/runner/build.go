@@ -85,7 +85,7 @@ func Build(spec RunSpec) (*platform.World, []Finalizer, error) {
 	if spec.AlgoConfig != nil {
 		algoCfg = *spec.AlgoConfig
 	}
-	algo, err := NewAlgorithm(spec.Algorithm, algoCfg)
+	algo, err := NewAlgorithmManaged(spec.Algorithm, algoCfg, spec.Manager)
 	if err != nil {
 		return nil, nil, fmt.Errorf("%s: %w", spec.Name, err)
 	}

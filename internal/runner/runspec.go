@@ -20,6 +20,7 @@ import (
 	"hyscale/internal/loadgen"
 	"hyscale/internal/platform"
 	"hyscale/internal/resources"
+	"hyscale/internal/scalermgr"
 	"hyscale/internal/workload"
 )
 
@@ -195,6 +196,11 @@ type RunSpec struct {
 	Algorithm string `json:"algorithm,omitempty"`
 	// AlgoConfig overrides core.DefaultConfig() for the algorithm.
 	AlgoConfig *core.Config `json:"algoConfig,omitempty"`
+	// Manager tunes the "manager" algorithm family (per-scaler windows,
+	// weights, merge policy, SLO/cost targets). Nil means scalermgr
+	// defaults; ignored by every other algorithm, so specs without a
+	// manager block are byte-for-byte unaffected.
+	Manager *scalermgr.Config `json:"manager,omitempty"`
 
 	// Duration is the simulated horizon.
 	Duration time.Duration `json:"duration"`

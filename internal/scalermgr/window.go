@@ -1,0 +1,74 @@
+package scalermgr
+
+import "time"
+
+// sample is one recorded aggregate with its simulated timestamp.
+type sample struct {
+	at time.Duration
+	v  float64
+}
+
+// window is a time-based sliding-window aggregator over the periodic
+// samples a scaler records each decision round. Samples older than the
+// window width are pruned on every record and read, so an aggregator that
+// stops receiving samples (monitor outage) naturally empties instead of
+// serving stale data forever.
+type window struct {
+	width   time.Duration
+	samples []sample
+}
+
+func newWindow(width time.Duration) *window { return &window{width: width} }
+
+// Record appends a sample taken at the given simulated time and prunes
+// everything that has aged out. Samples must arrive in non-decreasing time
+// order (the decision loop guarantees this).
+func (w *window) Record(at time.Duration, v float64) {
+	w.samples = append(w.samples, sample{at: at, v: v})
+	w.prune(at)
+}
+
+// prune drops samples with age >= width. A sample recorded exactly at `now`
+// always survives (width is positive).
+func (w *window) prune(now time.Duration) {
+	cut := 0
+	for cut < len(w.samples) && now-w.samples[cut].at >= w.width {
+		cut++
+	}
+	if cut > 0 {
+		w.samples = append(w.samples[:0], w.samples[cut:]...)
+	}
+}
+
+// Avg returns the mean of the in-window samples; ok is false when the
+// window is empty (no opinion).
+func (w *window) Avg(now time.Duration) (avg float64, ok bool) {
+	w.prune(now)
+	if len(w.samples) == 0 {
+		return 0, false
+	}
+	sum := 0.0
+	for _, s := range w.samples {
+		sum += s.v
+	}
+	return sum / float64(len(w.samples)), true
+}
+
+// Max returns the maximum of the in-window samples; ok is false when the
+// window is empty.
+func (w *window) Max(now time.Duration) (max float64, ok bool) {
+	w.prune(now)
+	if len(w.samples) == 0 {
+		return 0, false
+	}
+	m := w.samples[0].v
+	for _, s := range w.samples[1:] {
+		if s.v > m {
+			m = s.v
+		}
+	}
+	return m, true
+}
+
+// Len reports the number of samples currently inside the window.
+func (w *window) Len() int { return len(w.samples) }

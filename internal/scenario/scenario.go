@@ -34,6 +34,7 @@ import (
 	"hyscale/internal/platform"
 	"hyscale/internal/resilience"
 	"hyscale/internal/runner"
+	"hyscale/internal/scalermgr"
 	"hyscale/internal/workload"
 )
 
@@ -450,6 +451,82 @@ func (s *SelfHealing) Config() monitor.SelfHealing {
 	}
 }
 
+// ManagerScaler declares one scaler inside the manager block.
+type ManagerScaler struct {
+	// Metric is one of cpu|memory|net|queue.
+	Metric string `json:"metric"`
+	// Weight is the scaler's vote under the "weighted" merge policy.
+	Weight float64 `json:"weight,omitempty"`
+	// Target overrides the scaler's utilization target (resource scalers:
+	// fraction of request; queue: per-replica depth).
+	Target float64 `json:"target,omitempty"`
+	// StableWindow / BurstWindow override the manager-wide window widths.
+	StableWindow Duration `json:"stableWindow,omitempty"`
+	BurstWindow  Duration `json:"burstWindow,omitempty"`
+}
+
+// ManagerService declares one service's SLO/cost targets for the manager.
+type ManagerService struct {
+	Service string `json:"service"`
+	// SLOMs is a response-time objective in milliseconds: under
+	// "manager-cost" the service keeps burst headroom on scale-down.
+	SLOMs float64 `json:"sloMs,omitempty"`
+	// TargetUtil / QueueTarget override the per-service scaler targets.
+	TargetUtil  float64 `json:"targetUtil,omitempty"`
+	QueueTarget float64 `json:"queueTarget,omitempty"`
+}
+
+// Manager tunes the "manager" / "manager-cost" algorithm family: sliding
+// window widths, per-scaler weights and targets, the merge policy, and the
+// cost allocator's freshness/retention knobs. Omitted means scalermgr
+// defaults; the block is ignored by every other algorithm.
+type Manager struct {
+	StableWindow Duration         `json:"stableWindow,omitempty"`
+	BurstWindow  Duration         `json:"burstWindow,omitempty"`
+	MergePolicy  string           `json:"mergePolicy,omitempty"`
+	Scalers      []ManagerScaler  `json:"scalers,omitempty"`
+	QueueTarget  float64          `json:"queueTarget,omitempty"`
+	FreshWithin  Duration         `json:"freshWithin,omitempty"`
+	Retention    Duration         `json:"retention,omitempty"`
+	SLOTargetMs  float64          `json:"sloTargetMs,omitempty"`
+	Services     []ManagerService `json:"services,omitempty"`
+}
+
+// Config materialises the manager declaration (nil-safe: nil yields nil,
+// leaving the runner on scalermgr defaults).
+func (m *Manager) Config() *scalermgr.Config {
+	if m == nil {
+		return nil
+	}
+	cfg := scalermgr.Config{
+		StableWindow: time.Duration(m.StableWindow),
+		BurstWindow:  time.Duration(m.BurstWindow),
+		MergePolicy:  m.MergePolicy,
+		QueueTarget:  m.QueueTarget,
+		FreshWithin:  time.Duration(m.FreshWithin),
+		Retention:    time.Duration(m.Retention),
+		SLOTargetMs:  m.SLOTargetMs,
+	}
+	for _, s := range m.Scalers {
+		cfg.Scalers = append(cfg.Scalers, scalermgr.ScalerConfig{
+			Metric:       s.Metric,
+			Weight:       s.Weight,
+			Target:       s.Target,
+			StableWindow: time.Duration(s.StableWindow),
+			BurstWindow:  time.Duration(s.BurstWindow),
+		})
+	}
+	for _, s := range m.Services {
+		cfg.Services = append(cfg.Services, scalermgr.ServiceTargets{
+			Service:     s.Service,
+			SLOMs:       s.SLOMs,
+			TargetUtil:  s.TargetUtil,
+			QueueTarget: s.QueueTarget,
+		})
+	}
+	return &cfg
+}
+
 // Zones declares a sharded control plane: the node pool is partitioned into
 // Count zones, each governed by its own arbiter, under a thin global
 // allocator that assigns services to zones and leases idle machines across
@@ -470,8 +547,10 @@ type Scenario struct {
 	Nodes     int     `json:"nodes"`
 	NodeCPU   float64 `json:"nodeCPU,omitempty"`
 	NodeMemMB float64 `json:"nodeMemMB,omitempty"`
-	// Algorithm is one of kubernetes|network|hybrid|hybridmem|none, with
-	// optional ablation suffixes for the hybrids.
+	// Algorithm is one of
+	// kubernetes|network|hybrid|hybridmem|manager|manager-cost|none, with
+	// optional ablation suffixes for the hybrids and the "-predictive"
+	// wrapper for any of them.
 	Algorithm string `json:"algorithm"`
 	// MonitorPeriod overrides the 5s default.
 	MonitorPeriod Duration `json:"monitorPeriod,omitempty"`
@@ -495,6 +574,9 @@ type Scenario struct {
 	CallGraph *workload.CallGraph `json:"callGraph,omitempty"`
 	// Resilience declares the cascading-failure defenses (nil disables all).
 	Resilience *Resilience `json:"resilience,omitempty"`
+	// Manager tunes the "manager"/"manager-cost" algorithms (nil keeps
+	// scalermgr defaults; ignored by every other algorithm).
+	Manager *Manager `json:"manager,omitempty"`
 }
 
 // Parse reads a scenario from JSON, rejecting unknown fields so typos
@@ -566,6 +648,16 @@ func (sc *Scenario) Validate() error {
 	if err := sc.Resilience.Config().Validate(); err != nil {
 		return err
 	}
+	if sc.Manager != nil {
+		if err := sc.Manager.Config().Validate(); err != nil {
+			return err
+		}
+		for _, ms := range sc.Manager.Services {
+			if !seen[ms.Service] {
+				return fmt.Errorf("scenario: manager targets unknown service %q", ms.Service)
+			}
+		}
+	}
 	return nil
 }
 
@@ -604,6 +696,7 @@ func (sc *Scenario) Compile() (runner.RunSpec, error) {
 		Seed:      sc.Seed,
 		Platform:  cfg,
 		Algorithm: sc.Algorithm,
+		Manager:   sc.Manager.Config(),
 		Duration:  time.Duration(sc.Duration),
 	}
 	for _, s := range sc.ExpandedServices() {

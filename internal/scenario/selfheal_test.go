@@ -101,6 +101,20 @@ func TestShippedScenarioFilesParse(t *testing.T) {
 			t.Errorf("%s: %v", path, err)
 			continue
 		}
+		if filepath.Base(path) == "slo-cost-tradeoff.json" {
+			if sc.Algorithm != "manager-cost" {
+				t.Errorf("%s: algorithm = %q, want manager-cost", path, sc.Algorithm)
+			}
+			if sc.Manager == nil || len(sc.Manager.Services) == 0 {
+				t.Errorf("%s: expected a manager block with per-service targets", path)
+			}
+			spec, err := sc.Compile()
+			if err != nil {
+				t.Errorf("%s: compile: %v", path, err)
+			} else if spec.Manager == nil {
+				t.Errorf("%s: compiled spec lost the manager config", path)
+			}
+		}
 		if filepath.Base(path) == "datacenter-zones.json" {
 			if sc.Zones == nil || sc.Zones.Count != 8 {
 				t.Errorf("%s: expected a zones block with count 8, got %+v", path, sc.Zones)
