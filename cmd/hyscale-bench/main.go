@@ -100,7 +100,7 @@ func realMain() int {
 		"fig2", "mem", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"ablation", "monitorperiod", "placement", "churn", "stateful",
 		"fig3sweep", "targetutil", "hetero", "predictive", "lbpolicy",
-		"chaos", "recovery", "cascade", "manager",
+		"chaos", "recovery", "cascade", "manager", "dr",
 	}
 	if !*all {
 		ids = strings.Split(*exp, ",")
@@ -288,6 +288,12 @@ func run(id string, opts experiments.Options) ([]*experiments.Table, error) {
 		return []*experiments.Table{r.Table()}, nil
 	case "recovery":
 		r, err := experiments.RunRecovery(opts)
+		if err != nil {
+			return nil, err
+		}
+		return []*experiments.Table{r.Table()}, nil
+	case "dr":
+		r, err := experiments.RunDR(opts)
 		if err != nil {
 			return nil, err
 		}

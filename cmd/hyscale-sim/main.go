@@ -112,6 +112,7 @@ func main() {
 		fmt.Printf("actions: scale-outs=%d scale-ins=%d vertical=%d placement-failures=%d\n",
 			a.ScaleOuts, a.ScaleIns, a.Vertical, a.PlacementFailures)
 		printZones(res.Zones, res.CrossZone)
+		printEvac(res.ZoneEvac)
 		if res.ClampedEvents > 0 {
 			fmt.Printf("warning: %d events clamped to now (stale-timestamp scheduling)\n", res.ClampedEvents)
 		}
@@ -171,6 +172,7 @@ func runScenario(path string) {
 	if zs := w.ZoneSummaries(); zs != nil {
 		cz := w.CrossZone()
 		printZones(zs, &cz)
+		printEvac(w.ZoneEvac())
 	}
 }
 
@@ -181,12 +183,26 @@ func printZones(zones []monitor.ZoneSummary, cross *monitor.CrossZoneCounts) {
 		return
 	}
 	for _, z := range zones {
-		fmt.Printf("zone %d: nodes=%d services=%d replicas=%d scale-outs=%d scale-ins=%d vertical=%d\n",
-			z.Zone, z.Nodes, z.Services, z.Replicas, z.Counts.ScaleOuts, z.Counts.ScaleIns, z.Counts.Vertical)
+		evac := ""
+		if z.Evacuated {
+			evac = " EVACUATED"
+		}
+		fmt.Printf("zone %d: nodes=%d services=%d replicas=%d scale-outs=%d scale-ins=%d vertical=%d%s\n",
+			z.Zone, z.Nodes, z.Services, z.Replicas, z.Counts.ScaleOuts, z.Counts.ScaleIns, z.Counts.Vertical, evac)
 	}
 	if cross != nil {
 		fmt.Printf("cross-zone: node-leases=%d lease-failures=%d\n", cross.NodeLeases, cross.LeaseFailures)
 	}
+}
+
+// printEvac writes the zone disaster-recovery summary line. No-op unless
+// evacuation was enabled and did something.
+func printEvac(ev *monitor.EvacCounts) {
+	if ev == nil || *ev == (monitor.EvacCounts{}) {
+		return
+	}
+	fmt.Printf("zone-dr: zones-evacuated=%d services-evacuated=%d replicas-displaced=%d spillover-placements=%d zones-readopted=%d services-readopted=%d\n",
+		ev.ZonesEvacuated, ev.ServicesEvacuated, ev.ReplicasDisplaced, ev.SpilloverPlacements, ev.ZonesReadopted, ev.ServicesReadopted)
 }
 
 func fatal(err error) {

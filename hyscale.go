@@ -108,6 +108,17 @@ type SimConfig struct {
 	// zone is considered starved and proactively leases an idle machine
 	// before its poll (default 1 CPU; only meaningful with Zones > 1).
 	ZoneLeaseHeadroomCPU float64
+	// EvacuateZones enables the zone disaster-recovery path: a zone whose
+	// nodes are all ruled dead has its services re-homed into surviving
+	// zones and migrated back when it heals. Requires Zones > 1 and
+	// SelfHealing.
+	EvacuateZones bool
+	// ZoneSpilloverZones bounds how many zones one evacuated service may
+	// span when no single surviving zone fits it (<= 1 disables spillover).
+	ZoneSpilloverZones int
+	// ZoneReadoptAfter is the anti-flap cooldown before an evacuated service
+	// migrates back into its healed home zone (default 30 s).
+	ZoneReadoptAfter time.Duration
 	// MonitorPeriod is the decision period (default 5 s).
 	MonitorPeriod time.Duration
 	// NodeCPU / NodeMemMB / NodeNetMbps resize the machines (defaults
@@ -200,6 +211,9 @@ func (cfg SimConfig) platformConfig() platform.Config {
 	}
 	pc.Zones = cfg.Zones
 	pc.ZoneLeaseHeadroomCPU = cfg.ZoneLeaseHeadroomCPU
+	pc.EvacuateZones = cfg.EvacuateZones
+	pc.ZoneSpilloverZones = cfg.ZoneSpilloverZones
+	pc.ZoneReadoptAfter = cfg.ZoneReadoptAfter
 	pc.Faults = cfg.Faults
 	pc.HardeningOff = cfg.DisableHardening
 	pc.SelfHealing = cfg.SelfHealing
@@ -282,6 +296,14 @@ func (s *Simulation) ZoneSummaries() []ZoneSummary { return s.world.ZoneSummarie
 // CrossZone returns the global allocator's node-lease counters (all zero
 // when the control plane is not zoned).
 func (s *Simulation) CrossZone() CrossZoneCounts { return s.world.CrossZone() }
+
+// EvacCounts tallies zone evacuations, re-adoptions, displaced replicas and
+// spillover placements (the disaster-recovery path).
+type EvacCounts = monitor.EvacCounts
+
+// ZoneEvac returns the zone disaster-recovery counters, nil unless the
+// control plane is zoned and SimConfig.EvacuateZones was set.
+func (s *Simulation) ZoneEvac() *EvacCounts { return s.world.ZoneEvac() }
 
 // ClampedEvents counts simulator events that had to be clamped to "now"
 // because a component scheduled them in the past. Non-zero values flag

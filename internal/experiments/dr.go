@@ -1,0 +1,465 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"hyscale/internal/container"
+	"hyscale/internal/faults"
+	"hyscale/internal/loadgen"
+	"hyscale/internal/metrics"
+	"hyscale/internal/monitor"
+	"hyscale/internal/platform"
+	"hyscale/internal/runner"
+	"hyscale/internal/sim"
+	"hyscale/internal/workload"
+)
+
+// The disaster-recovery experiment measures the zoned control plane's zone
+// fault domains end to end, at the datacenter scale the sharding was built
+// for (1,000 nodes / 500 services / 8 zones). Three failure scenarios:
+//
+//	outage    — one zone's arbiter loses stats AND actions to every node
+//	            for a bounded window (the classic zone outage); heals.
+//	partition — the same zone loses only the stats direction (a gray
+//	            failure: the arbiter rules its nodes dead but control
+//	            actions still land); heals.
+//	rolling   — two zones die back to back and stay dead; the second
+//	            victim hosts a service too large for any single surviving
+//	            zone's remaining capacity.
+//
+// crossed with three recovery variants:
+//
+//	no-evac — self-healing on, zone evacuation off: a dead zone's services
+//	          stay down until the zone heals.
+//	evac    — zone evacuation on, no spillover: each evacuated service
+//	          must land whole in one surviving zone.
+//	spill   — evacuation plus spillover across up to 3 zones.
+//
+// and three algorithms. The table reports availability (service-seconds
+// with a routable replica), time-to-reconverge (first instant every service
+// is back at its pre-failure replica count), cross-zone replica
+// displacement, and the cost delta against the matching no-evac cell.
+
+// drNodes/drZones/drFillers size the cluster so the rolling scenario's
+// acceptance criterion is structural: each zone offers 500 CPU (125
+// four-core nodes); fillers hold 4 one-core replicas each (~63 per
+// untouched zone → ~248 CPU free), and a mammoth holds 230. The first dead
+// zone's mammoth fits a surviving zone whole (230 ≤ 248), but evacuation
+// concentrates it there: after wave one no survivor retains more than
+// ~200 CPU free (the mammoth's landing zone drops to ~20, and the
+// displaced fillers level the rest downward), so the second mammoth can
+// only come back split across zones — spillover or bust.
+const (
+	drNodes           = 1000
+	drZones           = 8
+	drFillers         = 498
+	drMammoths        = 2
+	drMammothReplicas = 230
+)
+
+// drServices builds the filler fleet and, for the rolling scenario, the
+// mammoths. Mammoths are registered first: the plane's fewest-services
+// assignment then homes them in zones 0 and 1 — exactly the zones the
+// rolling outage kills.
+func drServices(fillers, mammoths, mammothReplicas int) []serviceLoad {
+	out := make([]serviceLoad, 0, fillers+mammoths)
+	for i := 0; i < mammoths; i++ {
+		spec := workload.ServiceSpec{
+			Name: fmt.Sprintf("mammoth-%d", i), Kind: workload.KindCPUBound,
+			CPUPerRequest:         0.45,
+			CPUOverheadPerRequest: 0.05,
+			MemPerRequest:         2,
+			BaselineMemMB:         300,
+			InitialReplicaCPU:     1,
+			InitialReplicaMemMB:   512,
+			MinReplicas:           mammothReplicas,
+			MaxReplicas:           mammothReplicas,
+			Timeout:               30 * time.Second,
+		}
+		// N rps × 0.5 CPU/req = N/2 CPU demand: N one-core replicas run at
+		// the 0.5 utilization target. The replica count is pinned
+		// (min == max) so losing a zone's worth of mammoth can only be
+		// repaired by re-placing the replicas somewhere — not by the
+		// surviving home growing or vertically squeezing its way back — which
+		// is exactly the placement problem spillover exists to solve.
+		out = append(out, serviceLoad{spec: spec, target: 0.5, pattern: loadgen.Constant{RPS: float64(mammothReplicas)}})
+	}
+	for i := 0; i < fillers; i++ {
+		spec := workload.ServiceSpec{
+			Name: fmt.Sprintf("svc-%03d", i), Kind: workload.KindCPUBound,
+			CPUPerRequest:         0.45,
+			CPUOverheadPerRequest: 0.05,
+			MemPerRequest:         2,
+			BaselineMemMB:         300,
+			InitialReplicaCPU:     1,
+			InitialReplicaMemMB:   512,
+			MinReplicas:           2,
+			MaxReplicas:           8,
+			Timeout:               30 * time.Second,
+		}
+		// 3.5 rps × 0.5 CPU/req = 1.75 CPU demand → a stable 4 replicas
+		// (mid-interval, same reasoning as the mammoths).
+		out = append(out, serviceLoad{spec: spec, target: 0.5, pattern: loadgen.Constant{RPS: 3.5}})
+	}
+	return out
+}
+
+// drScenario is one zone failure schedule.
+type drScenario struct {
+	name     string
+	mammoths int
+	windows  func(d time.Duration) []faults.Window
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// drScenarios returns the three failure schedules for a horizon d. The
+// single-zone scenarios open at 35% of the horizon and heal after a quarter
+// of it (at least 75 s — the detector, evacuation cooldown and re-adoption
+// need room at reduced -scale); the rolling outage opens earlier, kills the
+// second zone one stagger later, and never heals within the horizon.
+func drScenarios() []drScenario {
+	single := func(kind faults.Kind, direction string) func(d time.Duration) []faults.Window {
+		return func(d time.Duration) []faults.Window {
+			from := time.Duration(0.35 * float64(d))
+			return []faults.Window{{
+				Kind: kind, Target: "0", Direction: direction,
+				From: from, To: from + maxDuration(d/4, 75*time.Second),
+			}}
+		}
+	}
+	return []drScenario{
+		{name: "outage", windows: single(faults.KindZoneOutage, "")},
+		{name: "partition", windows: single(faults.KindZonePartition, faults.DirectionStats)},
+		{name: "rolling", mammoths: drMammoths, windows: func(d time.Duration) []faults.Window {
+			first := d / 4
+			second := first + maxDuration(d/5, 36*time.Second)
+			return []faults.Window{
+				{Kind: faults.KindZoneOutage, Target: "0", From: first, To: 10 * d},
+				{Kind: faults.KindZoneOutage, Target: "1", From: second, To: 10 * d},
+			}
+		}},
+	}
+}
+
+// drVariant is one recovery configuration.
+type drVariant struct {
+	name      string
+	evacuate  bool
+	spillover int
+}
+
+func drVariants() []drVariant {
+	return []drVariant{
+		{name: "no-evac"},
+		{name: "evac", evacuate: true, spillover: 1},
+		{name: "spill", evacuate: true, spillover: 3},
+	}
+}
+
+// DROutcome is one (scenario, variant, algorithm) cell.
+type DROutcome struct {
+	Scenario  string
+	Variant   string
+	Algorithm string
+	// ReconvergeSeconds is the time from the first zone failure until every
+	// service last returned to its pre-failure provisioned capacity (-1:
+	// never within the horizon — the cell did not survive).
+	ReconvergeSeconds float64
+	// AvailabilityPercent is the fraction of service-seconds with at least
+	// one routable replica.
+	AvailabilityPercent float64
+	// Displaced / Spillover count replicas carried across a zone boundary
+	// by evacuation, and the subset placed beyond the primary target zone.
+	Displaced uint64
+	Spillover uint64
+	// CostDelta is this cell's total cost minus the matching no-evac
+	// cell's — what the recovery paid for in machine-hours and penalties.
+	CostDelta float64
+	Summary   metrics.Summary
+	Recovery  monitor.RecoveryCounts
+}
+
+// DRResult is the material behind the disaster-recovery comparison.
+type DRResult struct {
+	Name     string
+	Outcomes []DROutcome
+}
+
+// Outcome returns the cell for (scenario, variant, algorithm), or nil.
+func (r *DRResult) Outcome(scenario, variant, algorithm string) *DROutcome {
+	for i := range r.Outcomes {
+		o := &r.Outcomes[i]
+		if o.Scenario == scenario && o.Variant == variant && o.Algorithm == algorithm {
+			return o
+		}
+	}
+	return nil
+}
+
+// Table renders the scenario × variant × algorithm comparison.
+func (r *DRResult) Table() *Table {
+	t := &Table{
+		Title: r.Name,
+		Columns: []string{"scenario", "variant", "algorithm", "reconverge", "avail %",
+			"failed %", "displaced", "spillover", "cost Δ"},
+	}
+	for _, o := range r.Outcomes {
+		reconverge := "-"
+		if o.ReconvergeSeconds >= 0 {
+			reconverge = fmt.Sprintf("%.0fs", o.ReconvergeSeconds)
+		}
+		t.AddRow(
+			o.Scenario,
+			o.Variant,
+			o.Algorithm,
+			reconverge,
+			fmt.Sprintf("%.2f", o.AvailabilityPercent),
+			fmt.Sprintf("%.2f", o.Summary.FailedPercent()),
+			fmt.Sprintf("%d", o.Displaced),
+			fmt.Sprintf("%d", o.Spillover),
+			fmt.Sprintf("%+.2f", o.CostDelta),
+		)
+	}
+	return t
+}
+
+// drProbe measures time-to-reconverge and availability for zoned worlds. It
+// mirrors the recovery probe but reads the control plane (the Monitor
+// accessor is nil on zoned worlds, and replica counts must include
+// spillover shards), and derives the failure instant from the spec's first
+// zone fault window rather than a churn schedule.
+type drProbe struct {
+	failAt       time.Duration
+	pre          map[string]float64
+	degraded     bool
+	reconvergeAt time.Duration
+	total, up    uint64
+}
+
+// The reconvergence bars form a Schmitt trigger over each service's
+// provisioned CPU, measured against a low-water pre-failure baseline (the
+// minimum provisioned capacity observed over the later half of the pre-fail
+// window). Capacity, not replica count, because the re-homed zone's
+// algorithm is free to rebuild the same capacity out of fewer, larger
+// replicas. A service arms the probe when it drops below 80% of baseline —
+// only a real zone loss cuts that deep — and counts as restored at 95%; the
+// gap keeps ordinary vertical/horizontal re-shaping jitter from re-arming a
+// cell that has genuinely recovered.
+const (
+	drDegradedFraction = 0.80
+	drRestoredFraction = 0.95
+)
+
+func (p *drProbe) attach(w *platform.World, spec runner.RunSpec) error {
+	p.pre = make(map[string]float64)
+	p.reconvergeAt = -1
+	p.failAt = -1
+	for _, fw := range spec.Platform.Faults.Windows {
+		if fw.Kind != faults.KindZoneOutage && fw.Kind != faults.KindZonePartition {
+			continue
+		}
+		if p.failAt < 0 || fw.From < p.failAt {
+			p.failAt = fw.From
+		}
+	}
+	ctl := w.Control()
+	var buf []*container.Container
+	return w.Engine().SchedulePeriodic(time.Second, time.Second, func(e *sim.Engine) {
+		now := e.Now()
+		before := p.failAt < 0 || now < p.failAt
+		restored := true
+		deep := false
+		for _, s := range spec.Services {
+			name := s.Spec.Name
+			p.total++
+			buf = ctl.AppendReplicas(buf[:0], name)
+			var cpu float64
+			routable := false
+			for _, c := range buf {
+				cpu += c.Alloc.CPU
+				if c.Routable() {
+					routable = true
+				}
+			}
+			if routable {
+				p.up++
+			}
+			switch {
+			case before:
+				// Low-water baseline over the settled half of the pre-fail
+				// window (the earlier half is deployment ramp-up).
+				if now >= p.failAt/2 {
+					if v, ok := p.pre[name]; !ok || cpu < v {
+						p.pre[name] = cpu
+					}
+				}
+			case cpu < drDegradedFraction*p.pre[name]:
+				restored = false
+				deep = true
+				p.degraded = true
+			case cpu < drRestoredFraction*p.pre[name]:
+				restored = false
+			}
+		}
+		if before {
+			return
+		}
+		// The detector takes several poll periods to excise a dead zone's
+		// replicas, so the first post-failure samples still show pre-failure
+		// capacity; reconvergence only counts once degradation has actually
+		// been observed. A later failure wave (the rolling scenario) re-arms
+		// the probe: the reported instant is the LAST return to pre-failure
+		// capacity, so a cell that recovers from wave one but not wave two
+		// reads as never reconverged. Only a deep dip (below the arming
+		// threshold) re-arms; shallow jitter inside the hysteresis band
+		// neither latches nor resets.
+		switch {
+		case restored && p.degraded && p.reconvergeAt < 0:
+			p.reconvergeAt = now
+		case deep:
+			p.reconvergeAt = -1
+		}
+	})
+}
+
+// HookDRProbe is the registered runner hook attaching the zone
+// disaster-recovery probe; its finalizer reports Extra["reconvergeSeconds"]
+// (-1: never) and Extra["availabilityPercent"].
+const HookDRProbe = "dr-probe"
+
+func init() {
+	runner.RegisterHook(HookDRProbe, func(w *platform.World, spec runner.RunSpec) (runner.Finalizer, error) {
+		probe := &drProbe{}
+		if err := probe.attach(w, spec); err != nil {
+			return nil, err
+		}
+		return func(res *runner.Result) {
+			if res.Extra == nil {
+				res.Extra = make(map[string]float64)
+			}
+			reconverge := -1.0
+			if probe.reconvergeAt >= 0 {
+				reconverge = (probe.reconvergeAt - probe.failAt).Seconds()
+			}
+			res.Extra["reconvergeSeconds"] = reconverge
+			avail := 100.0
+			if probe.total > 0 {
+				avail = 100 * float64(probe.up) / float64(probe.total)
+			}
+			res.Extra["availabilityPercent"] = avail
+		}, nil
+	})
+}
+
+// drCell parameterises one DR run.
+type drCell struct {
+	scenario  drScenario
+	variant   drVariant
+	algorithm string
+}
+
+func (c drCell) compile(nodes, zones, fillers, mammothReplicas int, opts Options) runner.RunSpec {
+	d := macroDuration(opts)
+	cfg := platform.DefaultConfig(opts.Seed)
+	cfg.Nodes = nodes
+	cfg.Zones = zones
+	cfg.SelfHealing = monitor.DefaultSelfHealing()
+	cfg.EvacuateZones = c.variant.evacuate
+	cfg.ZoneSpilloverZones = c.variant.spillover
+	cfg.Faults = faults.Config{
+		Seed:    opts.Seed + 3000,
+		Windows: c.scenario.windows(d),
+	}
+	spec := runner.RunSpec{
+		Name:      fmt.Sprintf("dr/%s-%s-%s", c.scenario.name, c.variant.name, c.algorithm),
+		Label:     fmt.Sprintf("%s %s %s", c.scenario.name, c.variant.name, c.algorithm),
+		Seed:      opts.Seed,
+		Platform:  cfg,
+		Algorithm: c.algorithm,
+		Duration:  d,
+		Hooks:     []string{HookDRProbe},
+	}
+	for _, s := range drServices(fillers, c.scenario.mammoths, mammothReplicas) {
+		spec.Services = append(spec.Services, runner.ServiceRun{
+			Spec: s.spec, Target: s.target, Load: runner.FromPattern(s.pattern),
+		})
+	}
+	return spec
+}
+
+// runDRSized executes the DR grid on a cluster of the given size — the full
+// ISSUE-pinned grid for RunDR, a reduced one for the smoke tests.
+func runDRSized(opts Options, nodes, zones, fillers, mammothReplicas int, algorithms []string) (*DRResult, error) {
+	opts = opts.scaled()
+	var cells []drCell
+	for _, sc := range drScenarios() {
+		for _, v := range drVariants() {
+			for _, a := range algorithms {
+				cells = append(cells, drCell{scenario: sc, variant: v, algorithm: a})
+			}
+		}
+	}
+	specs := make([]runner.RunSpec, len(cells))
+	for i, cell := range cells {
+		specs[i] = cell.compile(nodes, zones, fillers, mammothReplicas, opts)
+	}
+	results, err := execute(specs, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &DRResult{Name: "Disaster recovery: zone outage, evacuation and spillover"}
+	for i, cell := range cells {
+		r := results[i]
+		o := DROutcome{
+			Scenario:            cell.scenario.name,
+			Variant:             cell.variant.name,
+			Algorithm:           cell.algorithm,
+			ReconvergeSeconds:   r.Extra["reconvergeSeconds"],
+			AvailabilityPercent: r.Extra["availabilityPercent"],
+			Summary:             r.Summary,
+			Recovery:            r.Recovery,
+		}
+		if r.ZoneEvac != nil {
+			o.Displaced = r.ZoneEvac.ReplicasDisplaced
+			o.Spillover = r.ZoneEvac.SpilloverPlacements
+		}
+		res.Outcomes = append(res.Outcomes, o)
+	}
+	// Cost deltas against the matching no-evac cell, computable only once
+	// every cell is in.
+	for i := range res.Outcomes {
+		o := &res.Outcomes[i]
+		base := res.Outcome(o.Scenario, "no-evac", o.Algorithm)
+		if base == nil {
+			continue
+		}
+		bi := results[drCellIndex(cells, o.Scenario, "no-evac", o.Algorithm)]
+		oi := results[i]
+		o.CostDelta = oi.Cost.TotalCost - bi.Cost.TotalCost
+	}
+	return res, nil
+}
+
+func drCellIndex(cells []drCell, scenario, variant, algorithm string) int {
+	for i, c := range cells {
+		if c.scenario.name == scenario && c.variant.name == variant && c.algorithm == algorithm {
+			return i
+		}
+	}
+	return 0
+}
+
+// RunDR runs the zone disaster-recovery grid at the ISSUE-pinned scale —
+// 1,000 nodes, ~500 services, 8 zones — under {outage, partition, rolling}
+// × {no-evac, evac, spill} × 3 algorithms (hyscale-bench -exp dr).
+func RunDR(opts Options) (*DRResult, error) {
+	return runDRSized(opts, drNodes, drZones, drFillers, drMammothReplicas,
+		[]string{"kubernetes", "hybrid", "hybridmem"})
+}

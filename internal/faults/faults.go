@@ -45,6 +45,20 @@ const (
 	// dependency (lock convoy, cold cache, noisy neighbour) rather than a
 	// dead one. Only meaningful as a Window.
 	KindSlowBackend Kind = "slow-backend"
+	// KindZoneOutage takes every node in the target zone dead for the
+	// window: both stats queries and control actions towards the zone's
+	// nodes are black-holed, so the zone's arbiter declares them dead and —
+	// when evacuation is enabled — the global allocator re-homes the zone's
+	// services. Target is the zone index as a decimal string ("0", "1", …)
+	// and must be non-empty; only meaningful as a Window, and only on a
+	// zoned (zones ≥ 2) control plane.
+	KindZoneOutage Kind = "zone-outage"
+	// KindZonePartition cuts the target zone's arbiter off from its nodes
+	// for the window — the machines keep running but the control plane
+	// cannot see (Direction "stats") or steer (Direction "actions") them;
+	// empty Direction cuts both, like KindPartition but for a whole zone.
+	// Target is the zone index as a decimal string and must be non-empty.
+	KindZonePartition Kind = "zone-partition"
 )
 
 // Partition directions for KindPartition windows. An empty Direction cuts
@@ -67,9 +81,9 @@ type Window struct {
 	Target string
 	From   time.Duration
 	To     time.Duration
-	// Direction narrows a KindPartition window to one side of the
-	// monitor↔node link (DirectionStats or DirectionActions); empty cuts
-	// both. Must be empty for every other kind.
+	// Direction narrows a KindPartition or KindZonePartition window to one
+	// side of the monitor↔node link (DirectionStats or DirectionActions);
+	// empty cuts both. Must be empty for every other kind.
 	Direction string
 	// Factor is the CPU-work multiplier of a KindSlowBackend window
 	// (must be > 1); zero for every other kind.
@@ -168,7 +182,7 @@ func (c Config) Validate() error {
 	}
 	for i, w := range c.Windows {
 		switch w.Kind {
-		case KindVertical, KindStart, KindStats, KindBackend, KindMonitorCrash, KindPartition, KindSlowBackend:
+		case KindVertical, KindStart, KindStats, KindBackend, KindMonitorCrash, KindPartition, KindSlowBackend, KindZoneOutage, KindZonePartition:
 		default:
 			return fmt.Errorf("faults: window %d has unknown kind %q", i, w.Kind)
 		}
@@ -178,7 +192,10 @@ func (c Config) Validate() error {
 		if w.Kind == KindMonitorCrash && w.Target != "" {
 			return fmt.Errorf("faults: window %d: monitor-crash windows take no target (got %q)", i, w.Target)
 		}
-		if w.Kind == KindPartition {
+		if (w.Kind == KindZoneOutage || w.Kind == KindZonePartition) && w.Target == "" {
+			return fmt.Errorf("faults: window %d: %s windows need a zone-index target", i, w.Kind)
+		}
+		if w.Kind == KindPartition || w.Kind == KindZonePartition {
 			switch w.Direction {
 			case "", DirectionStats, DirectionActions:
 			default:
@@ -298,6 +315,53 @@ func (i *Injector) StatsBlackout(now time.Duration, nodeID string) bool {
 // monitor requeues them).
 func (i *Injector) ActionBlackout(now time.Duration, nodeID string) bool {
 	return i.partitioned(DirectionActions, nodeID, now)
+}
+
+// HasZoneWindows reports whether any zone-outage or zone-partition window is
+// configured — a cheap gate so the per-node fault hooks on a zoned control
+// plane stay out of the hot path when no zone can ever fail.
+func (i *Injector) HasZoneWindows() bool {
+	if i == nil {
+		return false
+	}
+	for _, w := range i.cfg.Windows {
+		if w.Kind == KindZoneOutage || w.Kind == KindZonePartition {
+			return true
+		}
+	}
+	return false
+}
+
+// zoneCut reports whether a zone-scoped window is black-holing the given
+// side of the monitor↔node link for zone at now. A zone-outage window cuts
+// both sides; a zone-partition window respects its Direction.
+func (i *Injector) zoneCut(direction, zone string, now time.Duration) bool {
+	if i == nil {
+		return false
+	}
+	for _, w := range i.cfg.Windows {
+		if w.Contains(KindZoneOutage, zone, now) {
+			return true
+		}
+		if w.Contains(KindZonePartition, zone, now) &&
+			(w.Direction == "" || w.Direction == direction) {
+			return true
+		}
+	}
+	return false
+}
+
+// ZoneStatsCut reports whether the zone's stats answers are black-holed at
+// now (zone-outage, or zone-partition with stats direction).
+func (i *Injector) ZoneStatsCut(now time.Duration, zone string) bool {
+	return i.zoneCut(DirectionStats, zone, now)
+}
+
+// ZoneActionsCut reports whether control actions towards the zone's nodes
+// are black-holed at now (zone-outage, or zone-partition with actions
+// direction).
+func (i *Injector) ZoneActionsCut(now time.Duration, zone string) bool {
+	return i.zoneCut(DirectionActions, zone, now)
 }
 
 // VerticalFails reports whether the `docker update` on containerID at now

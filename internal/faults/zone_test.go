@@ -1,0 +1,77 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func TestZoneOutageCutsBothDirections(t *testing.T) {
+	i := New(Config{Seed: 1, Windows: []Window{
+		{Kind: KindZoneOutage, Target: "2", From: 10 * time.Second, To: 20 * time.Second},
+	}})
+	mid := 15 * time.Second
+	if !i.ZoneStatsCut(mid, "2") || !i.ZoneActionsCut(mid, "2") {
+		t.Error("zone-outage must cut stats and actions for the target zone")
+	}
+	if i.ZoneStatsCut(mid, "1") || i.ZoneActionsCut(mid, "1") {
+		t.Error("zone-outage leaked into another zone")
+	}
+	for _, now := range []time.Duration{9 * time.Second, 21 * time.Second} {
+		if i.ZoneStatsCut(now, "2") || i.ZoneActionsCut(now, "2") {
+			t.Errorf("zone-outage active outside its window at %v", now)
+		}
+	}
+}
+
+func TestZonePartitionDirections(t *testing.T) {
+	cases := []struct {
+		direction             string
+		wantStats, wantAction bool
+	}{
+		{DirectionStats, true, false},
+		{DirectionActions, false, true},
+		{"", true, true}, // empty direction cuts both, like KindPartition
+	}
+	for _, c := range cases {
+		i := New(Config{Seed: 1, Windows: []Window{
+			{Kind: KindZonePartition, Target: "0", Direction: c.direction,
+				From: 0, To: time.Minute},
+		}})
+		now := 30 * time.Second
+		if got := i.ZoneStatsCut(now, "0"); got != c.wantStats {
+			t.Errorf("direction %q: ZoneStatsCut = %v, want %v", c.direction, got, c.wantStats)
+		}
+		if got := i.ZoneActionsCut(now, "0"); got != c.wantAction {
+			t.Errorf("direction %q: ZoneActionsCut = %v, want %v", c.direction, got, c.wantAction)
+		}
+	}
+}
+
+func TestZoneWindowValidation(t *testing.T) {
+	missing := Config{Windows: []Window{
+		{Kind: KindZoneOutage, From: 0, To: time.Second},
+	}}
+	if err := missing.Validate(); err == nil {
+		t.Error("zone-outage window without a target accepted")
+	}
+	badDir := Config{Windows: []Window{
+		{Kind: KindZonePartition, Target: "0", Direction: "sideways", From: 0, To: time.Second},
+	}}
+	if err := badDir.Validate(); err == nil {
+		t.Error("zone-partition window with unknown direction accepted")
+	}
+	good := Config{Windows: []Window{
+		{Kind: KindZoneOutage, Target: "3", From: 0, To: time.Second},
+		{Kind: KindZonePartition, Target: "1", Direction: DirectionStats, From: 0, To: time.Second},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid zone windows rejected: %v", err)
+	}
+}
+
+func TestNilInjectorZoneCutsInert(t *testing.T) {
+	var i *Injector
+	if i.ZoneStatsCut(time.Second, "0") || i.ZoneActionsCut(time.Second, "0") {
+		t.Error("nil injector cut a zone")
+	}
+}

@@ -454,12 +454,17 @@ func (s *Server) handleZones(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	zs := s.world.ZoneSummaries()
 	cz := s.world.CrossZone()
+	ev := s.world.ZoneEvac()
 	s.mu.Unlock()
 	if zs == nil {
 		http.Error(w, "control plane is not zoned", http.StatusNotFound)
 		return
 	}
-	s.writeJSON(w, map[string]any{"zones": zs, "crossZone": cz})
+	out := map[string]any{"zones": zs, "crossZone": cz}
+	if ev != nil {
+		out["evac"] = ev
+	}
+	s.writeJSON(w, out)
 }
 
 // handleMetrics renders a Prometheus-style text exposition of the key
@@ -537,9 +542,31 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			fmt.Fprintf(w, "hyscale_zone_scaling_actions_total{zone=\"%d\",kind=\"scale_out\"} %d\n", z.Zone, z.Counts.ScaleOuts)
 			fmt.Fprintf(w, "hyscale_zone_scaling_actions_total{zone=\"%d\",kind=\"scale_in\"} %d\n", z.Zone, z.Counts.ScaleIns)
 		}
+		fmt.Fprintf(w, "# TYPE hyscale_zone_lease_failures_total counter\n")
+		for _, z := range zs {
+			fmt.Fprintf(w, "hyscale_zone_lease_failures_total{zone=\"%d\"} %d\n", z.Zone, z.LeaseFailures)
+		}
+		fmt.Fprintf(w, "# TYPE hyscale_zone_evacuated gauge\n")
+		for _, z := range zs {
+			v := 0
+			if z.Evacuated {
+				v = 1
+			}
+			fmt.Fprintf(w, "hyscale_zone_evacuated{zone=\"%d\"} %d\n", z.Zone, v)
+		}
 		cz := s.world.CrossZone()
 		fmt.Fprintf(w, "# TYPE hyscale_cross_zone_node_leases_total counter\nhyscale_cross_zone_node_leases_total %d\n", cz.NodeLeases)
 		fmt.Fprintf(w, "# TYPE hyscale_cross_zone_lease_failures_total counter\nhyscale_cross_zone_lease_failures_total %d\n", cz.LeaseFailures)
+		if ev := s.world.ZoneEvac(); ev != nil {
+			fmt.Fprintf(w, "# TYPE hyscale_zone_evac_zones_total counter\n")
+			fmt.Fprintf(w, "hyscale_zone_evac_zones_total{phase=\"evacuated\"} %d\n", ev.ZonesEvacuated)
+			fmt.Fprintf(w, "hyscale_zone_evac_zones_total{phase=\"readopted\"} %d\n", ev.ZonesReadopted)
+			fmt.Fprintf(w, "# TYPE hyscale_zone_evac_services_total counter\n")
+			fmt.Fprintf(w, "hyscale_zone_evac_services_total{phase=\"evacuated\"} %d\n", ev.ServicesEvacuated)
+			fmt.Fprintf(w, "hyscale_zone_evac_services_total{phase=\"readopted\"} %d\n", ev.ServicesReadopted)
+			fmt.Fprintf(w, "# TYPE hyscale_zone_evac_replicas_displaced_total counter\nhyscale_zone_evac_replicas_displaced_total %d\n", ev.ReplicasDisplaced)
+			fmt.Fprintf(w, "# TYPE hyscale_zone_evac_spillover_placements_total counter\nhyscale_zone_evac_spillover_placements_total %d\n", ev.SpilloverPlacements)
+		}
 	}
 
 	// Manager series only exist when the multi-metric scaler manager is the

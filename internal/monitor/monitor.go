@@ -89,6 +89,21 @@ type serviceState struct {
 	replicaIDs []string
 	nextIdx    int
 
+	// guest marks a cross-zone spillover shard: the service's home arbiter
+	// lives in another zone, and this monitor merely hosts a bounded slice
+	// of its replicas (see plane evacuation). Guest services are excluded
+	// from the snapshot so the local algorithm never scales them; their
+	// replicas still serve traffic, count against node capacity, and are
+	// covered by the failure detector.
+	guest bool
+
+	// holdPolls withholds this service from algorithm decisions for that
+	// many polls. A zone readoption re-places every replica at once, so the
+	// very next decision would see fresh containers with zero observed
+	// usage and trim them to the minimum; one held poll lets real stats
+	// arrive first. Reconciler retries are unaffected.
+	holdPolls int
+
 	// resolved caches replicaIDs resolved to container pointers, valid
 	// while resolvedGen matches Monitor.topoGen. Per-request routing walks
 	// this instead of re-resolving IDs through three map lookups each.
@@ -136,6 +151,10 @@ type Monitor struct {
 	services []*serviceState
 	byName   map[string]*serviceState
 
+	// held counts services with holdPolls > 0, so the hold machinery costs
+	// nothing when idle (always, outside zone readoptions).
+	held int
+
 	// StartDelay is the container start latency applied to scale-outs.
 	StartDelay time.Duration
 
@@ -164,6 +183,15 @@ type Monitor struct {
 	// case the placement is retried once. Nil — the single-arbiter default —
 	// leaves every placement path byte-identical to the unsharded monitor.
 	OutOfCapacity func(alloc resources.Vector) bool
+
+	// StatsCut / ActionsCut, when non-nil, report an additional sustained
+	// blackout of a node's stats answers / control actions beyond what the
+	// node-keyed fault injector knows. The zoned control plane installs
+	// these so zone-outage and zone-partition windows — keyed by zone index,
+	// which only the plane's zone map can resolve — reach the per-zone
+	// monitors. Nil (the default) keeps every fault path byte-identical.
+	StatsCut   func(now time.Duration, nodeID string) bool
+	ActionsCut func(now time.Duration, nodeID string) bool
 
 	retries     []pendingAction
 	lastReports map[string]*cachedReport
@@ -429,6 +457,23 @@ func (m *Monitor) Poll(now time.Duration) {
 	snap := m.Snapshot(now)
 	plan := m.algo.Decide(snap)
 	m.Apply(plan, now)
+	m.releaseHolds()
+}
+
+// releaseHolds ticks down per-service decision holds after a poll's plan was
+// applied. No-op unless a zone readoption set one this period.
+func (m *Monitor) releaseHolds() {
+	if m.held == 0 {
+		return
+	}
+	for _, st := range m.services {
+		if st.holdPolls > 0 {
+			st.holdPolls--
+			if st.holdPolls == 0 {
+				m.held--
+			}
+		}
+	}
 }
 
 // drainRetries re-executes every pending action whose backoff deadline has
@@ -490,7 +535,8 @@ func (m *Monitor) Snapshot(now time.Duration) core.Snapshot {
 			continue
 		}
 		var cached *cachedReport
-		if m.Faults.StatsDropped(now, id) || m.Faults.StatsBlackout(now, id) {
+		if m.Faults.StatsDropped(now, id) || m.Faults.StatsBlackout(now, id) ||
+			(m.StatsCut != nil && m.StatsCut(now, id)) {
 			nm.NoteMissedQuery()
 			m.noteMissedPoll(id, now)
 			cached = m.lastReports[id]
@@ -559,6 +605,12 @@ func (m *Monitor) Snapshot(now time.Duration) core.Snapshot {
 	}
 
 	for _, st := range m.services {
+		if st.guest {
+			// Spillover shards are not this zone's to scale: keep them out
+			// of the snapshot so the algorithm neither grows nor shrinks
+			// them. Their capacity still shows in the node stats above.
+			continue
+		}
 		ss := growServiceStats(&m.snapServices)
 		ss.Info = st.info
 		ss.Replicas = ss.Replicas[:0]
@@ -698,11 +750,40 @@ func (m *Monitor) observe(a core.Action, now time.Duration, attempt int, outcome
 	m.Obs.Decision(d)
 }
 
-// Apply executes a plan action-by-action.
+// Apply executes a plan action-by-action. Actions against services under a
+// decision hold (freshly readopted, see serviceState.holdPolls) are dropped:
+// the algorithm decided off zero-usage stats for replicas placed this very
+// period.
 func (m *Monitor) Apply(plan core.Plan, now time.Duration) {
 	for _, a := range plan.Actions {
+		if m.held > 0 {
+			if st := m.byName[m.actionService(a)]; st != nil && st.holdPolls > 0 {
+				continue
+			}
+		}
 		m.execute(pendingAction{action: a}, now)
 	}
+}
+
+// actionService resolves the service an action targets.
+func (m *Monitor) actionService(a core.Action) string {
+	switch act := a.(type) {
+	case core.ScaleOut:
+		return act.Service
+	case core.ScaleIn:
+		return m.serviceOfContainer(act.ContainerID)
+	case core.VerticalScale:
+		return m.serviceOfContainer(act.ContainerID)
+	}
+	return ""
+}
+
+// actionsCut reports whether control actions towards nodeID are black-holed
+// at now — by a node-keyed partition window or by the plane-installed
+// zone-fault hook.
+func (m *Monitor) actionsCut(now time.Duration, nodeID string) bool {
+	return m.Faults.ActionBlackout(now, nodeID) ||
+		(m.ActionsCut != nil && m.ActionsCut(now, nodeID))
 }
 
 // execute runs one attempt of a queued action; p.attempts counts prior
@@ -722,7 +803,7 @@ func (m *Monitor) execute(p pendingAction, now time.Duration) {
 			m.observe(a, now, p.attempts, obs.OutcomeMoot, "")
 			return
 		}
-		if m.Faults.ActionBlackout(now, c.NodeID) || m.Faults.VerticalFails(now, act.ContainerID) {
+		if m.actionsCut(now, c.NodeID) || m.Faults.VerticalFails(now, act.ContainerID) {
 			m.observe(a, now, p.attempts, m.requeue(p, now), "")
 			return
 		}
@@ -763,7 +844,7 @@ func (m *Monitor) execute(p pendingAction, now time.Duration) {
 				return
 			}
 		}
-		if m.Faults.ActionBlackout(now, act.NodeID) {
+		if m.actionsCut(now, act.NodeID) {
 			m.observe(a, now, p.attempts, m.requeue(p, now), "")
 			return
 		}
@@ -808,7 +889,7 @@ func (m *Monitor) execute(p pendingAction, now time.Duration) {
 			m.observe(a, now, p.attempts, obs.OutcomeMoot, "")
 			return
 		}
-		if m.Faults.ActionBlackout(now, node.ID()) {
+		if m.actionsCut(now, node.ID()) {
 			m.observe(a, now, p.attempts, m.requeue(p, now), "")
 			return
 		}

@@ -22,11 +22,13 @@ package monitor
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"hyscale/internal/cluster"
 	"hyscale/internal/container"
 	"hyscale/internal/core"
+	"hyscale/internal/faults"
 	"hyscale/internal/resources"
 	"hyscale/internal/workload"
 )
@@ -73,6 +75,21 @@ type PlaneConfig struct {
 	// the allocator moves one idle node in so the zone's algorithm still has
 	// somewhere to scale out. Zero means the 1-core default.
 	LeaseHeadroomCPU float64
+	// Evacuate enables the disaster-recovery path: when every node of a zone
+	// is ruled dead by its arbiter's failure detector, the allocator re-homes
+	// the zone's services into surviving zones and lets the reconciler
+	// re-place their lost replicas there. Requires self-healing (the detector
+	// is the trigger); off, a dead zone's services stay down until it heals.
+	Evacuate bool
+	// SpilloverZones bounds how many zones one evacuated service may span
+	// when no single surviving zone has capacity for all its replicas:
+	// its home plus up to SpilloverZones-1 spill shards. Values ≤ 1 disable
+	// spillover (the whole service lands in one zone, fit or not).
+	SpilloverZones int
+	// ReadoptAfter is the anti-flap cooldown before an evacuated service
+	// migrates home: the healed zone must stay fully healthy this long
+	// first. Zero means the 30 s default.
+	ReadoptAfter time.Duration
 }
 
 func (c PlaneConfig) headroom() resources.Vector {
@@ -81,6 +98,13 @@ func (c PlaneConfig) headroom() resources.Vector {
 		h = 1
 	}
 	return resources.Vector{CPU: h}
+}
+
+func (c PlaneConfig) readoptAfter() time.Duration {
+	if c.ReadoptAfter > 0 {
+		return c.ReadoptAfter
+	}
+	return 30 * time.Second
 }
 
 // CrossZoneCounts tallies the global allocator's activity.
@@ -101,14 +125,36 @@ type ZoneSummary struct {
 	Counts         ActionCounts   `json:"counts"`
 	Recovery       RecoveryCounts `json:"recovery"`
 	PendingRetries int            `json:"pendingRetries"`
+	// LeaseFailures counts lease attempts this zone initiated that found no
+	// movable machine anywhere (the per-zone attribution of the global
+	// CrossZoneCounts.LeaseFailures).
+	LeaseFailures uint64 `json:"leaseFailures"`
+	// Evacuated marks a zone currently ruled down by the evacuation state
+	// machine (its services re-homed into surviving zones).
+	Evacuated bool `json:"evacuated,omitempty"`
 }
 
 // zoneArbiter couples one zone's cluster view with the Monitor that owns it.
 type zoneArbiter struct {
 	idx      int
+	name     string // decimal zone index, the target key of zone fault windows
 	view     *cluster.Cluster
 	mon      *Monitor
 	services []string
+	// guests lists services whose home is another zone but which keep a
+	// bounded spillover shard of replicas here (see evac.go).
+	guests []string
+
+	// leaseFailures counts failed lease attempts initiated on this zone's
+	// behalf.
+	leaseFailures uint64
+
+	// down / healthyAt drive the evacuation ⇄ re-adoption state machine:
+	// down is set when the zone is evacuated, healthyAt records when the
+	// zone was last observed transitioning to fully healthy (-1 = not
+	// currently healthy).
+	down      bool
+	healthyAt time.Duration
 }
 
 // Plane is the two-level control plane: zone arbiters below, the global
@@ -122,7 +168,14 @@ type Plane struct {
 	zoneOfNode    map[string]int
 	zoneOfService map[string]int
 
+	// evacHome remembers an evacuated service's original zone, so it
+	// migrates home when that zone heals; spills lists the zones holding a
+	// service's spillover shards beyond its (current) home.
+	evacHome map[string]int
+	spills   map[string][]int
+
 	cross CrossZoneCounts
+	evac  EvacCounts
 }
 
 // NewPlane partitions the cluster's nodes into contiguous zones and builds
@@ -145,6 +198,8 @@ func NewPlane(cl *cluster.Cluster, algo core.Algorithm, cfg PlaneConfig) (*Plane
 		algo:          algo,
 		zoneOfNode:    make(map[string]int, len(nodes)),
 		zoneOfService: make(map[string]int),
+		evacHome:      make(map[string]int),
+		spills:        make(map[string][]int),
 	}
 	for z := 0; z < k; z++ {
 		view, err := cluster.New()
@@ -158,7 +213,10 @@ func NewPlane(cl *cluster.Cluster, algo core.Algorithm, cfg PlaneConfig) (*Plane
 			}
 			p.zoneOfNode[n.ID()] = z
 		}
-		za := &zoneArbiter{idx: z, view: view, mon: New(view, algo)}
+		za := &zoneArbiter{
+			idx: z, name: strconv.Itoa(z), view: view, mon: New(view, algo),
+			healthyAt: -1,
+		}
 		zi := z
 		za.mon.OutOfCapacity = func(alloc resources.Vector) bool {
 			return p.leaseInto(zi, alloc)
@@ -166,6 +224,29 @@ func NewPlane(cl *cluster.Cluster, algo core.Algorithm, cfg PlaneConfig) (*Plane
 		p.zones = append(p.zones, za)
 	}
 	return p, nil
+}
+
+// InstallZoneFaults wires zone-outage / zone-partition windows into every
+// arbiter: the injector is keyed by zone index, which only the plane's node→
+// zone map can resolve, and a leased node answers for whichever zone it is in
+// *now*. No-op (hooks stay nil, hot path untouched) when the config has no
+// zone windows.
+func (p *Plane) InstallZoneFaults(inj *faults.Injector) {
+	if !inj.HasZoneWindows() {
+		return
+	}
+	stats := func(now time.Duration, nodeID string) bool {
+		zi, ok := p.zoneOfNode[nodeID]
+		return ok && inj.ZoneStatsCut(now, p.zones[zi].name)
+	}
+	actions := func(now time.Duration, nodeID string) bool {
+		zi, ok := p.zoneOfNode[nodeID]
+		return ok && inj.ZoneActionsCut(now, p.zones[zi].name)
+	}
+	for _, z := range p.zones {
+		z.mon.StatsCut = stats
+		z.mon.ActionsCut = actions
+	}
 }
 
 // Arbiters returns the zone monitors in zone order, so the platform can
@@ -204,14 +285,22 @@ func (p *Plane) ZoneSummaries() []ZoneSummary {
 			Counts:         z.mon.Counts(),
 			Recovery:       z.mon.Recovery(),
 			PendingRetries: z.mon.PendingRetries(),
+			LeaseFailures:  z.leaseFailures,
+			Evacuated:      z.down,
 		}
 		for _, name := range z.services {
+			s.Replicas += z.mon.ReplicaCount(name)
+		}
+		for _, name := range z.guests {
 			s.Replicas += z.mon.ReplicaCount(name)
 		}
 		out[i] = s
 	}
 	return out
 }
+
+// Evac returns the evacuation / re-adoption counters.
+func (p *Plane) Evac() EvacCounts { return p.evac }
 
 // home returns the arbiter owning a service, or nil.
 func (p *Plane) home(service string) *zoneArbiter {
@@ -281,12 +370,27 @@ func (p *Plane) Sample() {
 // scale-outs when no local node fits, so a starved zone must receive an idle
 // machine before Decide runs, not after.
 func (p *Plane) Poll(now time.Duration) {
+	if p.cfg.Evacuate {
+		p.evacTick(now)
+	}
 	for _, z := range p.zones {
 		if len(z.services) > 0 && p.starved(z) {
 			p.leaseInto(z.idx, p.cfg.headroom())
 		}
 		z.mon.Poll(now)
 	}
+}
+
+// healthyNodes counts the zone's nodes with a clean detector record (never
+// missed a poll, ruled healthy).
+func (p *Plane) healthyNodes(z *zoneArbiter) int {
+	n := 0
+	for _, node := range z.view.Nodes() {
+		if st := z.mon.nodeStates[node.ID()]; st == nil || (st.missed == 0 && st.health == NodeHealthy) {
+			n++
+		}
+	}
+	return n
 }
 
 // starved reports whether no node in the zone has at least the configured
@@ -307,13 +411,14 @@ func (p *Plane) starved(z *zoneArbiter) bool {
 // leaseInto moves one idle machine into the starved zone: the donor scan
 // picks, across all other zones, the container-free detector-healthy node
 // with the most available CPU that fits alloc (first such node on ties, in
-// zone/node order), provided its donor keeps at least one machine. Returns
-// whether a machine moved.
+// zone/node order), provided its donor keeps at least one *healthy* machine
+// afterwards — a donor whose only other nodes are dead or suspect must not
+// be drained down to them. Returns whether a machine moved.
 func (p *Plane) leaseInto(zi int, alloc resources.Vector) bool {
 	var donor *zoneArbiter
 	var pick *cluster.Node
 	for _, z := range p.zones {
-		if z.idx == zi || len(z.view.Nodes()) <= 1 {
+		if z.idx == zi || p.healthyNodes(z) < 2 {
 			continue
 		}
 		for _, n := range z.view.Nodes() {
@@ -335,6 +440,7 @@ func (p *Plane) leaseInto(zi int, alloc resources.Vector) bool {
 	}
 	if pick == nil {
 		p.cross.LeaseFailures++
+		p.zones[zi].leaseFailures++
 		return false
 	}
 	id := pick.ID()
@@ -405,22 +511,32 @@ func (p *Plane) Replicas(service string) []*container.Container {
 	return p.AppendReplicas(nil, service)
 }
 
-// AppendReplicas appends a service's live replicas from its home arbiter.
+// AppendReplicas appends a service's live replicas from its home arbiter,
+// followed by any spillover shards in zone order.
 func (p *Plane) AppendReplicas(buf []*container.Container, service string) []*container.Container {
 	za := p.home(service)
 	if za == nil {
 		return buf
 	}
-	return za.mon.AppendReplicas(buf, service)
+	buf = za.mon.AppendReplicas(buf, service)
+	for _, zi := range p.spills[service] {
+		buf = p.zones[zi].mon.AppendReplicas(buf, service)
+	}
+	return buf
 }
 
-// ReplicaCount returns a service's live replica count from its home arbiter.
+// ReplicaCount returns a service's live replica count across its home
+// arbiter and any spillover shards.
 func (p *Plane) ReplicaCount(service string) int {
 	za := p.home(service)
 	if za == nil {
 		return 0
 	}
-	return za.mon.ReplicaCount(service)
+	n := za.mon.ReplicaCount(service)
+	for _, zi := range p.spills[service] {
+		n += p.zones[zi].mon.ReplicaCount(service)
+	}
+	return n
 }
 
 // Counts returns the action counters summed across all zone arbiters.

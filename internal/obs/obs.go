@@ -72,6 +72,15 @@ const (
 	EventColdRestart       EventKind = "cold-restart"
 )
 
+// Zone disaster-recovery event kinds, emitted by the zoned control plane when
+// a collapsed zone's services are re-homed into surviving zones and when they
+// migrate back after the zone heals. Event.Detail carries the zone move
+// ("zone 3 -> zone 5").
+const (
+	EventZoneEvacuate EventKind = "zone-evacuate"
+	EventZoneReadopt  EventKind = "zone-readopt"
+)
+
 // Circuit-breaker event kinds, emitted by the resilience layer on breaker
 // state transitions. Event.Detail carries the call-graph edge ("a->b").
 const (

@@ -7,6 +7,7 @@ package platform
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"hyscale/internal/cluster"
@@ -89,6 +90,20 @@ type Config struct {
 	// (cores of single-node headroom a zone must retain); zero means the
 	// 1-core default. Ignored unless Zones > 1.
 	ZoneLeaseHeadroomCPU float64
+	// EvacuateZones enables the zone disaster-recovery path: a zone whose
+	// nodes are all ruled dead has its services re-homed into surviving
+	// zones, and migrated back (after an anti-flap cooldown) when it heals.
+	// Requires SelfHealing — the per-zone failure detectors are the trigger.
+	// Ignored unless Zones > 1.
+	EvacuateZones bool
+	// ZoneSpilloverZones bounds how many zones one evacuated service may
+	// span when no single surviving zone fits all its replicas (home plus
+	// spill shards). Values <= 1 disable spillover.
+	ZoneSpilloverZones int
+	// ZoneReadoptAfter is how long a healed zone must stay fully healthy
+	// before its evacuated services migrate home; zero means the 30 s
+	// default.
+	ZoneReadoptAfter time.Duration
 }
 
 // DefaultConfig mirrors the paper's experimental setup: 24 nodes minus the
@@ -210,11 +225,20 @@ func New(cfg Config, algo core.Algorithm) (*World, error) {
 	}
 	zones := cfg.Zones
 	if zones > cfg.Nodes {
-		zones = cfg.Nodes
+		// A zone with no nodes can never host a service, and the lease scan
+		// would silently skip it — reject instead of shrinking the request.
+		return nil, fmt.Errorf("platform: zones (%d) exceeds node count (%d)", zones, cfg.Nodes)
+	}
+	if cfg.EvacuateZones && !cfg.SelfHealing.Enabled {
+		return nil, fmt.Errorf("platform: zone evacuation requires self-healing (the per-zone failure detectors are its trigger)")
 	}
 	if zones > 1 {
 		p, err := monitor.NewPlane(cl, algo, monitor.PlaneConfig{
-			Zones: zones, LeaseHeadroomCPU: cfg.ZoneLeaseHeadroomCPU,
+			Zones:            zones,
+			LeaseHeadroomCPU: cfg.ZoneLeaseHeadroomCPU,
+			Evacuate:         cfg.EvacuateZones,
+			SpilloverZones:   cfg.ZoneSpilloverZones,
+			ReadoptAfter:     cfg.ZoneReadoptAfter,
 		})
 		if err != nil {
 			return nil, err
@@ -267,6 +291,18 @@ func New(cfg Config, algo core.Algorithm) (*World, error) {
 	if err := cfg.Faults.Validate(); err != nil {
 		return nil, err
 	}
+	for _, wnd := range cfg.Faults.Windows {
+		if wnd.Kind != faults.KindZoneOutage && wnd.Kind != faults.KindZonePartition {
+			continue
+		}
+		if zones <= 1 {
+			return nil, fmt.Errorf("platform: %s fault windows need a zoned control plane (zones >= 2)", wnd.Kind)
+		}
+		zi, err := strconv.Atoi(wnd.Target)
+		if err != nil || zi < 0 || zi >= zones {
+			return nil, fmt.Errorf("platform: %s window targets zone %q, want an index in [0,%d)", wnd.Kind, wnd.Target, zones)
+		}
+	}
 	if err := cfg.Resilience.Validate(); err != nil {
 		return nil, err
 	}
@@ -287,6 +323,9 @@ func New(cfg Config, algo core.Algorithm) (*World, error) {
 		w.graph = newGraphRun(w, cfg.CallGraph, m)
 	}
 	w.faults = faults.New(cfg.Faults)
+	if w.plane != nil {
+		w.plane.InstallZoneFaults(w.faults)
+	}
 	for _, m := range w.arbiters() {
 		m.Faults = w.faults
 		if cfg.HardeningOff {
@@ -379,6 +418,16 @@ func (w *World) CrossZone() monitor.CrossZoneCounts {
 		return monitor.CrossZoneCounts{}
 	}
 	return w.plane.Cross()
+}
+
+// ZoneEvac returns the zone evacuation / re-adoption counters, nil when the
+// world is unzoned or evacuation is disabled.
+func (w *World) ZoneEvac() *monitor.EvacCounts {
+	if w.plane == nil || !w.cfg.EvacuateZones {
+		return nil
+	}
+	ec := w.plane.Evac()
+	return &ec
 }
 
 // Recorder exposes the metrics recorder.

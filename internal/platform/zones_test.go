@@ -138,6 +138,109 @@ func TestZonedConservationUnderChurnAndFaults(t *testing.T) {
 	}
 }
 
+// zonedOutageWorld is the evacuation variant of zonedChurnWorld: a full
+// zone-outage window with evacuation and spillover enabled, healing early
+// enough that the evacuate → readopt round trip completes within the run.
+func zonedOutageWorld(t *testing.T, seed int64, zones int) *World {
+	t.Helper()
+	cfg := DefaultConfig(seed)
+	cfg.Nodes = 12
+	cfg.Zones = zones
+	cfg.SelfHealing = monitor.DefaultSelfHealing()
+	cfg.EvacuateZones = true
+	cfg.ZoneSpilloverZones = 2
+	cfg.Faults = faults.Config{
+		Seed: seed,
+		Windows: []faults.Window{
+			{Kind: faults.KindZoneOutage, Target: "0", From: 60 * time.Second, To: 150 * time.Second},
+		},
+	}
+	w, err := New(cfg, core.NewHyScaleCPUMem(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		spec := workload.ServiceSpec{
+			Name: fmt.Sprintf("svc-%d", i), Kind: workload.KindCPUBound,
+			CPUPerRequest: 0.08, CPUOverheadPerRequest: 0.01, MemPerRequest: 2, BaselineMemMB: 200,
+			InitialReplicaCPU: 1, InitialReplicaMemMB: 512,
+			MinReplicas: 1, MaxReplicas: 4, Timeout: 30 * time.Second,
+		}
+		pattern := loadgen.Wave{Base: 10, Amplitude: 0.4, Period: 3 * time.Minute,
+			PhaseShift: time.Duration(i) * 20 * time.Second}
+		if err := w.AddService(spec, 0.5, pattern); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return w
+}
+
+// TestZonedConservationUnderZoneOutage drives the full disaster-recovery
+// round trip — outage, evacuation, heal, re-adoption — and demands the same
+// ledger identities as the churn test: per-service ledgers equal to the
+// physical cluster, the merged counters balancing the conservation
+// equation, and zone ownership exclusive and exhaustive. Nothing may leak
+// across the evacuate → readopt cycle.
+func TestZonedConservationUnderZoneOutage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	for _, seed := range []int64{3, 17} {
+		for _, zones := range []int{3, 8} {
+			label := fmt.Sprintf("seed %d zones=%d", seed, zones)
+			w := zonedOutageWorld(t, seed, zones)
+			// The outage heals at 150s; the detector re-admission plus the
+			// 30 s re-adoption cooldown land the migration home around 220s,
+			// so 5 minutes leaves the ledgers time to quiesce.
+			if err := w.Run(5 * time.Minute); err != nil {
+				t.Fatal(err)
+			}
+			checkLedger(t, w, label)
+			ev := w.ZoneEvac()
+			if ev == nil {
+				t.Fatalf("%s: ZoneEvac() = nil with evacuation enabled", label)
+			}
+			if ev.ZonesEvacuated == 0 || ev.ServicesEvacuated == 0 || ev.ReplicasDisplaced == 0 {
+				t.Errorf("%s: outage never triggered an evacuation: %+v", label, *ev)
+			}
+			if ev.ZonesReadopted == 0 || ev.ServicesReadopted == 0 {
+				t.Errorf("%s: healed zone was never re-adopted: %+v", label, *ev)
+			}
+			if w.Control().Recovery().DeclaredDead == 0 {
+				t.Errorf("%s: outage never tripped the failure detector", label)
+			}
+		}
+	}
+}
+
+// TestZonedOutageRunIsDeterministic re-runs the evacuation scenario and
+// requires identical zone summaries, action counts and DR counters — the
+// evacuation state machine must not introduce iteration-order or timing
+// nondeterminism.
+func TestZonedOutageRunIsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	run := func() ([]monitor.ZoneSummary, monitor.ActionCounts, monitor.EvacCounts) {
+		w := zonedOutageWorld(t, 9, 3)
+		if err := w.Run(4 * time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		return w.ZoneSummaries(), w.Control().Counts(), *w.ZoneEvac()
+	}
+	z1, c1, e1 := run()
+	z2, c2, e2 := run()
+	if !reflect.DeepEqual(z1, z2) {
+		t.Fatalf("zone summaries differ between identical runs:\n%v\n%v", z1, z2)
+	}
+	if c1 != c2 {
+		t.Fatalf("action counts differ: %v vs %v", c1, c2)
+	}
+	if e1 != e2 {
+		t.Fatalf("evacuation counters differ: %+v vs %+v", e1, e2)
+	}
+}
+
 func TestZonedRunIsDeterministic(t *testing.T) {
 	if testing.Short() {
 		t.Skip("integration")

@@ -51,6 +51,10 @@ type Result struct {
 	// CrossZone holds the global allocator's counters for zoned runs.
 	CrossZone *monitor.CrossZoneCounts `json:"crossZone,omitempty"`
 
+	// ZoneEvac holds the zone evacuation / re-adoption counters (nil unless
+	// the spec enabled Platform.EvacuateZones on a zoned run).
+	ZoneEvac *monitor.EvacCounts `json:"zoneEvac,omitempty"`
+
 	// Extra holds hook-harvested measurements (e.g. "uptimePercent" from the
 	// chaos probe).
 	Extra map[string]float64 `json:"extra,omitempty"`
@@ -180,6 +184,7 @@ func Run(spec RunSpec) (Result, error) {
 		res.Zones = zs
 		cz := w.CrossZone()
 		res.CrossZone = &cz
+		res.ZoneEvac = w.ZoneEvac()
 	}
 	if w.HasCallGraph() {
 		cs := w.CascadeStats()

@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 	"time"
 
 	"hyscale/internal/core"
@@ -266,16 +267,19 @@ type NodeFailure struct {
 // FaultWindow forces one fault kind during an interval — see faults.Window.
 type FaultWindow struct {
 	// Kind is one of
-	// vertical|start|stats|backend|monitor-crash|partition|slow-backend.
+	// vertical|start|stats|backend|monitor-crash|partition|slow-backend|
+	// zone-outage|zone-partition.
 	Kind string `json:"kind"`
 	// Target narrows the window to one container/service/node; empty hits
-	// every target (monitor-crash windows take no target).
+	// every target (monitor-crash windows take no target). Zone kinds
+	// require a decimal zone-index target and a zoned control plane
+	// (zones.count >= 2).
 	Target string   `json:"target,omitempty"`
 	From   Duration `json:"from"`
 	To     Duration `json:"to"`
-	// Direction narrows a partition window to one side of the monitor↔node
-	// link: "stats" (queries black-holed) or "actions" (control actions
-	// black-holed); empty cuts both.
+	// Direction narrows a partition or zone-partition window to one side of
+	// the monitor↔node link: "stats" (queries black-holed) or "actions"
+	// (control actions black-holed); empty cuts both.
 	Direction string `json:"direction,omitempty"`
 	// Factor is the CPU-work multiplier of a slow-backend window (> 1).
 	Factor float64 `json:"factor,omitempty"`
@@ -541,6 +545,23 @@ type Zones struct {
 	LeaseHeadroomCPU float64 `json:"leaseHeadroomCPU,omitempty"`
 }
 
+// DR declares the zone disaster-recovery path: evacuation of services out of
+// a zone whose nodes are all ruled dead, optional cross-zone spillover when
+// no single surviving zone fits a service, and migration home when the zone
+// heals. Requires a zoned control plane (zones.count >= 2) and selfHealing —
+// the per-zone failure detectors are what rules a zone down.
+type DR struct {
+	// Evacuate enables the path; false (or an omitted dr block) leaves a
+	// dead zone's services down until it heals.
+	Evacuate bool `json:"evacuate"`
+	// SpilloverZones bounds how many zones one evacuated service may span
+	// (home plus spill shards); <= 1 disables spillover.
+	SpilloverZones int `json:"spilloverZones,omitempty"`
+	// ReadoptAfter is how long a healed zone must stay fully healthy before
+	// its services migrate home (default 30s).
+	ReadoptAfter Duration `json:"readoptAfter,omitempty"`
+}
+
 // Scenario is a complete experiment description.
 type Scenario struct {
 	Seed      int64   `json:"seed"`
@@ -560,6 +581,9 @@ type Scenario struct {
 	// Zones shards the control plane into per-zone arbiters (nil or count 1
 	// keeps the single central monitor).
 	Zones *Zones `json:"zones,omitempty"`
+	// DR declares zone evacuation / re-adoption (nil disables; requires
+	// zones.count >= 2 and selfHealing).
+	DR *DR `json:"dr,omitempty"`
 
 	Services []Service     `json:"services"`
 	Failures []NodeFailure `json:"failures,omitempty"`
@@ -608,12 +632,51 @@ func (sc *Scenario) Validate() error {
 	if len(sc.Services) == 0 {
 		return fmt.Errorf("scenario: at least one service required")
 	}
+	nodes := sc.Nodes
+	if nodes == 0 {
+		nodes = platform.DefaultConfig(0).Nodes
+	}
+	zones := 1
 	if sc.Zones != nil {
 		if sc.Zones.Count < 1 {
 			return fmt.Errorf("scenario: zones.count must be >= 1, got %d", sc.Zones.Count)
 		}
+		if sc.Zones.Count > nodes {
+			return fmt.Errorf("scenario: zones.count (%d) exceeds nodes (%d) — a zone with no nodes can never host a service", sc.Zones.Count, nodes)
+		}
 		if sc.Zones.LeaseHeadroomCPU < 0 {
 			return fmt.Errorf("scenario: zones.leaseHeadroomCPU must be >= 0")
+		}
+		zones = sc.Zones.Count
+	}
+	if sc.DR != nil && sc.DR.Evacuate {
+		if zones < 2 {
+			return fmt.Errorf("scenario: dr.evacuate requires a zoned control plane (zones.count >= 2)")
+		}
+		if sc.SelfHealing == nil || !sc.SelfHealing.Enabled {
+			return fmt.Errorf("scenario: dr.evacuate requires selfHealing (the zone failure detectors are its trigger)")
+		}
+	}
+	if sc.DR != nil {
+		if sc.DR.SpilloverZones < 0 {
+			return fmt.Errorf("scenario: dr.spilloverZones must be >= 0")
+		}
+		if sc.DR.ReadoptAfter < 0 {
+			return fmt.Errorf("scenario: dr.readoptAfter must be >= 0")
+		}
+	}
+	if sc.Faults != nil {
+		for i, w := range sc.Faults.Windows {
+			if w.Kind != string(faults.KindZoneOutage) && w.Kind != string(faults.KindZonePartition) {
+				continue
+			}
+			if zones < 2 {
+				return fmt.Errorf("scenario: faults.windows[%d]: %s needs a zoned control plane (zones.count >= 2)", i, w.Kind)
+			}
+			zi, err := strconv.Atoi(w.Target)
+			if err != nil || zi < 0 || zi >= zones {
+				return fmt.Errorf("scenario: faults.windows[%d]: %s targets zone %q, want an index in [0,%d)", i, w.Kind, w.Target, zones)
+			}
 		}
 	}
 	for _, s := range sc.Services {
@@ -680,6 +743,11 @@ func (sc *Scenario) Compile() (runner.RunSpec, error) {
 	if sc.Zones != nil {
 		cfg.Zones = sc.Zones.Count
 		cfg.ZoneLeaseHeadroomCPU = sc.Zones.LeaseHeadroomCPU
+	}
+	if sc.DR != nil {
+		cfg.EvacuateZones = sc.DR.Evacuate
+		cfg.ZoneSpilloverZones = sc.DR.SpilloverZones
+		cfg.ZoneReadoptAfter = time.Duration(sc.DR.ReadoptAfter)
 	}
 	cfg.Faults = sc.Faults.Config(sc.Seed)
 	if sc.Faults != nil && sc.Faults.Hardening != nil {

@@ -132,5 +132,27 @@ func TestShippedScenarioFilesParse(t *testing.T) {
 				t.Errorf("%s: compiled Platform.Zones = %d, want 8", path, spec.Platform.Zones)
 			}
 		}
+		if filepath.Base(path) == "zone-outage.json" {
+			if sc.Zones == nil || sc.Zones.Count != 4 {
+				t.Errorf("%s: expected a zones block with count 4, got %+v", path, sc.Zones)
+			}
+			if sc.DR == nil || !sc.DR.Evacuate || sc.DR.SpilloverZones != 2 {
+				t.Errorf("%s: expected dr block with evacuate + spilloverZones 2, got %+v", path, sc.DR)
+			}
+			if sc.Faults == nil || len(sc.Faults.Windows) == 0 || sc.Faults.Windows[0].Kind != "zone-outage" {
+				t.Errorf("%s: expected a zone-outage fault window", path)
+			}
+			spec, err := sc.Compile()
+			if err != nil {
+				t.Errorf("%s: compile: %v", path, err)
+			} else {
+				if !spec.Platform.EvacuateZones {
+					t.Errorf("%s: compiled spec lost EvacuateZones", path)
+				}
+				if spec.Platform.ZoneSpilloverZones != 2 {
+					t.Errorf("%s: compiled ZoneSpilloverZones = %d, want 2", path, spec.Platform.ZoneSpilloverZones)
+				}
+			}
+		}
 	}
 }
